@@ -1,0 +1,172 @@
+package step
+
+import (
+	"testing"
+
+	"step/internal/des"
+	"step/internal/element"
+	"step/internal/experiments"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// benchSuite shrinks sweeps so each benchmark iteration stays fast while
+// still executing the full experiment pipeline.
+func benchSuite() experiments.Suite { return experiments.Suite{Seed: 7, Quick: true} }
+
+// runExperiment executes one paper artifact per iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	s := benchSuite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := r.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper table/figure, named for the artifact each
+// regenerates (see DESIGN.md's per-experiment index).
+
+func BenchmarkTable1Landscape(b *testing.B)                 { runExperiment(b, "table1") }
+func BenchmarkFigure1Roofline(b *testing.B)                 { runExperiment(b, "fig1") }
+func BenchmarkFigure8Validation(b *testing.B)               { runExperiment(b, "fig8") }
+func BenchmarkFigure9DynamicTiling(b *testing.B)            { runExperiment(b, "fig9") }
+func BenchmarkFigure10DynamicTilingLargeBatch(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFigure12TimeMultiplexUtilization(b *testing.B) {
+	runExperiment(b, "fig12")
+}
+func BenchmarkFigure13TimeMultiplexResources(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFigure14DynamicParallelization(b *testing.B)  { runExperiment(b, "fig14") }
+func BenchmarkFigure15BatchSweep(b *testing.B)              { runExperiment(b, "fig15") }
+func BenchmarkFigure17EndToEnd(b *testing.B)                { runExperiment(b, "fig17") }
+func BenchmarkFigure18Transform(b *testing.B)               { runExperiment(b, "fig18") }
+func BenchmarkFigure19TrafficPareto(b *testing.B)           { runExperiment(b, "fig19") }
+func BenchmarkFigure20TrafficParetoLargeBatch(b *testing.B) { runExperiment(b, "fig20") }
+func BenchmarkFigure21ParallelizationAblation(b *testing.B) { runExperiment(b, "fig21") }
+
+// BenchmarkSymbolicMetrics measures the §4.2 symbolic-frontend path:
+// building a full MoE graph and evaluating its traffic and on-chip
+// equations under the trace bindings.
+func BenchmarkSymbolicMetrics(b *testing.B) {
+	m := workloads.Qwen3Config().Scaled(8)
+	routing, err := trace.SampleExpertRouting(64, m.NumExperts, m.TopK, trace.SkewHeavy, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+			Model: m, Batch: 64, TileSize: 16, Routing: routing, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.OnchipBytes(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.SymbolicTrafficBytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESChannel measures the simulation kernel's raw throughput:
+// a producer/consumer pair moving one million elements.
+func BenchmarkDESChannel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := des.New()
+		ch := des.NewChan[int](sim, "c", 16, 1)
+		const n = 100000
+		sim.Spawn("prod", func(p *des.Process) error {
+			for j := 0; j < n; j++ {
+				p.Advance(1)
+				ch.Send(p, j)
+			}
+			ch.Close(p)
+			return nil
+		})
+		sim.Spawn("cons", func(p *des.Process) error {
+			for {
+				if _, ok := ch.Recv(p); !ok {
+					return nil
+				}
+				p.Advance(1)
+			}
+		})
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMoELayerSimulation measures one batch-64 MoE layer simulation
+// (the unit of work behind Figs. 9/12/13).
+func BenchmarkMoELayerSimulation(b *testing.B) {
+	m := workloads.Qwen3Config().Scaled(8)
+	routing, err := trace.SampleExpertRouting(64, m.NumExperts, m.TopK, trace.SkewHeavy, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+			Model: m, Batch: 64, Dynamic: true, Routing: routing, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Graph.Run(DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAttentionSimulation measures one batch-64 dynamic-parallel
+// attention simulation (the unit of work behind Figs. 14/15/21).
+func BenchmarkAttentionSimulation(b *testing.B) {
+	m := workloads.Qwen3Config().Scaled(8)
+	kv := trace.SampleKVLengths(64, 2048, trace.VarHigh, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := workloads.BuildAttention(workloads.AttentionConfig{
+			Model: m, KVLens: kv, Strategy: workloads.DynamicParallel,
+			Regions: 4, KVChunk: 64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Graph.Run(DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimpleMoE measures the §3.3 walkthrough end to end, including
+// functional verification data movement.
+func BenchmarkSimpleMoE(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		moe, err := workloads.BuildSimpleMoE(workloads.DefaultSimpleMoEConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := moe.Graph.Run(DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+		if element.CountData(moe.Output.Elements()) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}

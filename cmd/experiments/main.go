@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # run everything, print console tables
+//	experiments -fig fig9       # run one experiment
+//	experiments -out results/   # also write one CSV per experiment
+//	experiments -quick          # shrink sweeps for a fast smoke run
+//	experiments -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"step/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "run a single experiment by ID (e.g. fig9)")
+		out   = flag.String("out", "", "directory to write CSV results into")
+		seed  = flag.Uint64("seed", 7, "trace seed")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	suite := experiments.Suite{Seed: *seed, Quick: *quick}
+	runners := experiments.All()
+	if *fig != "" {
+		r, ok := experiments.Lookup(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *fig)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, r := range runners {
+		start := time.Now()
+		tb, err := r.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tb.String())
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		if *out != "" {
+			path := filepath.Join(*out, tb.ID+".csv")
+			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

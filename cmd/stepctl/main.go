@@ -1,0 +1,170 @@
+// Command stepctl is the library's utility CLI.
+//
+// Usage:
+//
+//	stepctl demo               # run the §3.3 simplified MoE and report metrics
+//	stepctl dot                # print the simplified MoE graph in Graphviz DOT
+//	stepctl tables             # print the STeP operator reference (Tables 3–7)
+//	stepctl moe [flags]        # run one MoE-layer configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"step"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = demo()
+	case "dot":
+		err = dot()
+	case "tables":
+		tables()
+	case "moe":
+		err = moe(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stepctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe> [flags]")
+}
+
+func demo() error {
+	moe, err := step.BuildSimpleMoE(step.DefaultSimpleMoEConfig())
+	if err != nil {
+		return err
+	}
+	res, err := moe.Graph.Run(step.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rows, err := moe.OutputRows()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simplified MoE (§3.3): %d rows, %d cycles, %d bytes off-chip, %d FLOPs\n",
+		len(rows), res.Cycles, res.OffchipTrafficBytes, res.TotalFLOPs)
+	return nil
+}
+
+func dot() error {
+	moe, err := step.BuildSimpleMoE(step.DefaultSimpleMoEConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Print(moe.Graph.Dot("simplified-moe"))
+	return nil
+}
+
+func moe(args []string) error {
+	fs := flag.NewFlagSet("moe", flag.ExitOnError)
+	var (
+		model   = fs.String("model", "qwen", "model: qwen or mixtral")
+		batch   = fs.Int("batch", 64, "batch size (tokens)")
+		tile    = fs.Int("tile", 16, "static tile size")
+		dynamic = fs.Bool("dynamic", false, "use dynamic tiling")
+		regions = fs.Int("regions", 0, "parallel regions (0 = one per expert)")
+		scale   = fs.Int("scale", 8, "model dimension scale-down factor")
+		seed    = fs.Uint64("seed", 7, "trace seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m step.ModelConfig
+	switch *model {
+	case "qwen":
+		m = step.Qwen3Config()
+	case "mixtral":
+		m = step.MixtralConfig()
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	m = m.Scaled(*scale)
+	routing, err := step.SampleExpertRouting(*batch, m.NumExperts, m.TopK, step.SkewHeavy, *seed)
+	if err != nil {
+		return err
+	}
+	layer, err := step.BuildMoELayer(step.MoELayerConfig{
+		Model: m, Batch: *batch,
+		TileSize: *tile, Dynamic: *dynamic, Regions: *regions,
+		Routing: routing, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := layer.Graph.Run(step.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	onchip, err := layer.OnchipBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model:              %s\n", m.Name)
+	fmt.Printf("cycles:             %d\n", res.Cycles)
+	fmt.Printf("off-chip traffic:   %d bytes\n", res.OffchipTrafficBytes)
+	fmt.Printf("on-chip requirement: %d bytes (§4.2 equation)\n", onchip)
+	fmt.Printf("total FLOPs:        %d\n", res.TotalFLOPs)
+	fmt.Printf("compute util:       %.4f\n", res.ComputeUtilization())
+	fmt.Printf("off-chip BW util:   %.4f\n", res.OffchipBWUtilization(1024))
+	return nil
+}
+
+func tables() {
+	fmt.Print(`STeP operator reference (paper Tables 3-7)
+
+Off-chip memory operators (§3.2.1)
+  LinearOffChipLoad(ref Strm<R,b>, tensor, stride, shape) -> Strm<S,a+b>
+      Affine tiled read, once per reference element.
+  LinearOffChipStore(in Strm<S,a>)
+      Linear tiled write.
+  RandomOffChipLoad(raddr Strm<I,a>, table) -> Strm<S,a>
+      Indexed tile fetch (time-multiplexed weight loads).
+  RandomOffChipStore(waddr Strm<I,b>, wdata Strm<S,b>) -> Strm<bool,b>
+      Indexed tile write with acknowledgments.
+
+On-chip memory operators (§3.2.2)
+  Bufferize(in Strm<S,a>, rank b) -> Strm<Buffer<S,b>,a-b>
+      Store inner b dims to scratchpad; dynamic buffer sizes allowed.
+  Streamify(bufs, ref, stride, shape) -> Strm<S,...>
+      Read each buffer a dynamic number of times (affine when static).
+
+Dynamic routing and merging operators (§3.2.3)
+  Partition(in Strm<R,a>, sel Strm<SEL,b>, n) -> [Strm<R,a-b>]
+      Route rank-(a-b) subtrees to selected outputs.
+  Reassemble(ins [Strm<R,a>], sel Strm<SEL,b>) -> Strm<R,a+b+1>
+      Merge per selector, collecting in arrival order; increments the
+      closing stop token.
+  EagerMerge(ins [Strm<R,a>]) -> (Strm<R,a>, Strm<SEL,0>)
+      Merge in arrival order, emitting a source selector stream.
+
+Higher-order operators (§3.2.4)
+  Map(in, fn)           shape-preserving element-wise function
+  Accum(in, rank, fn)   reduce inner dims (dynamic accumulators allowed)
+  Scan(in, rank, fn)    running reduction, shape preserved
+  FlatMap(in, rank, fn) expand each element to a rank-b fragment
+
+Shape operators (§3.2.5)
+  Flatten(min, max)  merge dims (ragged dims absorb)
+  Reshape(rank, chunk[, pad])  split a dim; pads the innermost
+  Promote            add a 1-extent outermost dim
+  Expand(ref, rank)  repeat elements per reference structure
+  Zip(a, b)          tuple two equal-shaped streams
+`)
+}

@@ -1,0 +1,207 @@
+package des
+
+import "fmt"
+
+// item is a queued channel element with its visibility time.
+type item[T any] struct {
+	v     T
+	ready Time   // enqueue time + channel latency
+	seq   uint64 // global arrival order, for deterministic Select ties
+}
+
+// Chan is a bounded single-producer single-consumer FIFO with a fixed
+// latency, the DES analogue of an SDA hardware FIFO. Send blocks while the
+// channel holds Cap in-flight elements (backpressure); Recv blocks until
+// the head element's ready time.
+type Chan[T any] struct {
+	sim     *Simulation
+	name    string
+	cap     int
+	latency Time
+	q       []item[T]
+	closed  bool
+
+	recvWaiter *Process
+	sendWaiter *Process
+
+	// Stats.
+	nSent, nRecv int64
+	lastSend     Time
+}
+
+// NewChan creates a channel. cap must be >= 1.
+func NewChan[T any](sim *Simulation, name string, capacity int, latency Time) *Chan[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("des: channel %q capacity must be >= 1", name))
+	}
+	return &Chan[T]{sim: sim, name: name, cap: capacity, latency: latency}
+}
+
+// Name returns the channel name.
+func (c *Chan[T]) Name() string { return c.name }
+
+// Sent returns the number of elements sent so far.
+func (c *Chan[T]) Sent() int64 { return c.nSent }
+
+// Send enqueues v, blocking the process while the channel is full.
+func (c *Chan[T]) Send(p *Process, v T) {
+	if c.closed {
+		panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+	}
+	for len(c.q) >= c.cap {
+		if c.sendWaiter != nil && c.sendWaiter != p {
+			panic(fmt.Sprintf("des: channel %q has two senders", c.name))
+		}
+		c.sendWaiter = p
+		p.yield("send " + c.name)
+		c.sendWaiter = nil
+		if c.closed {
+			panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+		}
+	}
+	c.sim.chanSeq++
+	it := item[T]{v: v, ready: c.sim.now + c.latency, seq: c.sim.chanSeq}
+	c.q = append(c.q, it)
+	c.nSent++
+	c.lastSend = c.sim.now
+	if w := c.recvWaiter; w != nil {
+		c.sim.schedule(it.ready, w, w.episode)
+	}
+}
+
+// Recv dequeues the next element. ok is false when the channel is closed
+// and drained. The process blocks until an element is visible.
+func (c *Chan[T]) Recv(p *Process) (T, bool) {
+	for {
+		if len(c.q) > 0 {
+			head := c.q[0]
+			if head.ready > c.sim.now {
+				// Sleep until the head becomes visible.
+				c.sim.schedule(head.ready, p, p.episode+1)
+				p.yield("recv-latency " + c.name)
+				continue
+			}
+			c.q = c.q[1:]
+			c.nRecv++
+			if w := c.sendWaiter; w != nil {
+				c.sim.schedule(c.sim.now, w, w.episode)
+			}
+			return head.v, true
+		}
+		if c.closed {
+			var zero T
+			return zero, false
+		}
+		if c.recvWaiter != nil && c.recvWaiter != p {
+			panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+		}
+		c.recvWaiter = p
+		p.yield("recv " + c.name)
+		c.recvWaiter = nil
+	}
+}
+
+// Close marks the channel closed. The parked receiver (if any) is woken so
+// it can observe the close.
+func (c *Chan[T]) Close(p *Process) {
+	if c.closed {
+		panic(fmt.Sprintf("des: double close of channel %q", c.name))
+	}
+	c.closed = true
+	if w := c.recvWaiter; w != nil {
+		c.sim.schedule(c.sim.now, w, w.episode)
+	}
+}
+
+// Selectable is the type-erased channel view used by Select.
+type Selectable interface {
+	// headReady returns, if an element is queued, its visibility time and
+	// arrival sequence number.
+	headReady() (Time, uint64, bool)
+	// drained reports closed-and-empty.
+	drained() bool
+	setRecvWaiter(p *Process)
+	clearRecvWaiter(p *Process)
+	simOf() *Simulation
+}
+
+func (c *Chan[T]) headReady() (Time, uint64, bool) {
+	if len(c.q) == 0 {
+		return 0, 0, false
+	}
+	return c.q[0].ready, c.q[0].seq, true
+}
+
+func (c *Chan[T]) drained() bool { return c.closed && len(c.q) == 0 }
+
+func (c *Chan[T]) setRecvWaiter(p *Process) {
+	if c.recvWaiter != nil && c.recvWaiter != p {
+		panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+	}
+	c.recvWaiter = p
+}
+
+func (c *Chan[T]) clearRecvWaiter(p *Process) {
+	if c.recvWaiter == p {
+		c.recvWaiter = nil
+	}
+}
+
+func (c *Chan[T]) simOf() *Simulation { return c.sim }
+
+// Select blocks until one of the channels has a visible element, advancing
+// time as needed, and returns its index. Elements are chosen by earliest
+// visibility time, breaking ties by arrival order, so Select implements the
+// "in the order the input is available" semantics of EagerMerge. It returns
+// -1 when every channel is closed and drained.
+func Select(p *Process, chans ...Selectable) int {
+	if len(chans) == 0 {
+		return -1
+	}
+	sim := chans[0].simOf()
+	for {
+		best := -1
+		var bestAt Time
+		var bestSeq uint64
+		allDrained := true
+		for i, c := range chans {
+			if !c.drained() {
+				allDrained = false
+			}
+			at, seq, ok := c.headReady()
+			if !ok {
+				continue
+			}
+			if best == -1 || at < bestAt || (at == bestAt && seq < bestSeq) {
+				best, bestAt, bestSeq = i, at, seq
+			}
+		}
+		if best >= 0 {
+			if bestAt > sim.now {
+				// Wait until the earliest head is visible, but remain
+				// wakeable by earlier arrivals on the other channels.
+				for _, c := range chans {
+					c.setRecvWaiter(p)
+				}
+				sim.schedule(bestAt, p, p.episode+1)
+				p.yield("select-latency")
+				for _, c := range chans {
+					c.clearRecvWaiter(p)
+				}
+				continue
+			}
+			return best
+		}
+		if allDrained {
+			return -1
+		}
+		// Nothing queued anywhere: park on all channels.
+		for _, c := range chans {
+			c.setRecvWaiter(p)
+		}
+		p.yield("select")
+		for _, c := range chans {
+			c.clearRecvWaiter(p)
+		}
+	}
+}

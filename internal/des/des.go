@@ -1,0 +1,259 @@
+// Package des is a deterministic discrete-event simulation kernel modeled
+// on the execution style of the Dataflow Abstract Machine (DAM) framework
+// the paper's Rust simulator builds on: a program is a set of asynchronous
+// processes (dataflow blocks) communicating over bounded, latency-annotated
+// FIFO channels with backpressure.
+//
+// Exactly one process runs at a time; the scheduler dispatches wake events
+// in (time, sequence) order, so simulations are bit-for-bit reproducible
+// regardless of goroutine scheduling. Processes are plain Go functions
+// running on goroutines that cooperatively yield back to the scheduler
+// whenever they advance time or block on a channel.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is the virtual clock, in cycles.
+type Time uint64
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady procState = iota // spawned, not yet run
+	stateRunning
+	stateWaiting // yielded: sleeping on an event or parked on channels
+	stateFinished
+)
+
+var errAborted = errors.New("des: simulation aborted")
+
+// Process is the handle a dataflow block uses to interact with virtual
+// time. All methods must be called from the process's own goroutine.
+type Process struct {
+	sim     *Simulation
+	id      int
+	name    string
+	state   procState
+	episode uint64 // wait-episode counter; stale wake events are dropped
+	resume  chan struct{}
+	err     error
+	aborted bool
+	// blockedOn describes what the process is waiting for (diagnostics).
+	blockedOn string
+}
+
+// Name returns the process name given at spawn time.
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Process) Now() Time { return p.sim.now }
+
+// Advance moves the process's view of time forward by d cycles.
+func (p *Process) Advance(d Time) {
+	if d == 0 {
+		return
+	}
+	p.sim.schedule(p.sim.now+d, p, p.episode+1)
+	p.yield("advance")
+}
+
+// AdvanceTo moves to an absolute time, if it is in the future.
+func (p *Process) AdvanceTo(t Time) {
+	if t > p.sim.now {
+		p.sim.schedule(t, p, p.episode+1)
+		p.yield("advance-to")
+	}
+}
+
+// yield transfers control back to the scheduler and blocks until resumed.
+func (p *Process) yield(why string) {
+	p.episode++
+	p.state = stateWaiting
+	p.blockedOn = why
+	p.sim.yielded <- p
+	<-p.resume
+	p.state = stateRunning
+	p.blockedOn = ""
+	if p.aborted {
+		panic(errAborted)
+	}
+}
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	at      Time
+	seq     uint64
+	proc    *Process
+	episode uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Simulation owns the virtual clock, processes, and event queue.
+type Simulation struct {
+	now     Time
+	procs   []*Process
+	events  eventHeap
+	seq     uint64
+	chanSeq uint64
+	yielded chan *Process
+	started bool
+}
+
+// New creates an empty simulation.
+func New() *Simulation {
+	return &Simulation{yielded: make(chan *Process)}
+}
+
+// Spawn registers a process. The function runs when Run is called; its
+// returned error aborts the simulation. Spawn must not be called after Run.
+func (s *Simulation) Spawn(name string, fn func(p *Process) error) *Process {
+	if s.started {
+		panic("des: Spawn after Run")
+	}
+	p := &Process{sim: s, id: len(s.procs), name: name, resume: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	go func() {
+		<-p.resume
+		p.state = stateRunning
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+					p.err = nil // aborted externally, not its own fault
+				} else {
+					p.err = fmt.Errorf("des: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.state = stateFinished
+			s.yielded <- p
+		}()
+		if p.aborted {
+			panic(errAborted)
+		}
+		p.err = fn(p)
+	}()
+	return p
+}
+
+func (s *Simulation) schedule(at Time, p *Process, episode uint64) {
+	s.seq++
+	s.events.pushEvent(event{at: at, seq: s.seq, proc: p, episode: episode})
+}
+
+// Run executes the simulation to completion and returns the final virtual
+// time (the time at which the last process finished) plus the first process
+// error or a deadlock error.
+func (s *Simulation) Run() (Time, error) {
+	if s.started {
+		panic("des: Run called twice")
+	}
+	s.started = true
+	heap.Init(&s.events)
+	// Seed: every process starts at time 0 in spawn order.
+	for _, p := range s.procs {
+		s.schedule(0, p, 0)
+	}
+	live := len(s.procs)
+	var firstErr error
+	var finish Time
+	for live > 0 {
+		// Find the next valid event.
+		var ev event
+		valid := false
+		for s.events.Len() > 0 {
+			ev = s.events.popEvent()
+			p := ev.proc
+			if p.state == stateFinished || p.state == stateRunning {
+				continue
+			}
+			// Episode 0 events are the initial dispatch; otherwise the
+			// episode must match the process's current wait episode.
+			if ev.episode != 0 && ev.episode != p.episode {
+				continue
+			}
+			valid = true
+			break
+		}
+		if !valid {
+			// No runnable process: deadlock.
+			firstErr = s.deadlockError()
+			break
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		p := ev.proc
+		p.resume <- struct{}{}
+		q := <-s.yielded
+		if q.state == stateFinished {
+			live--
+			if s.now > finish {
+				finish = s.now
+			}
+			if q.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("process %q: %w", q.name, q.err)
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	// Abort any processes still alive (error or deadlock path).
+	for _, p := range s.procs {
+		if p.state == stateFinished {
+			continue
+		}
+		p.aborted = true
+		p.resume <- struct{}{}
+		for {
+			q := <-s.yielded
+			if q == p && q.state == stateFinished {
+				break
+			}
+			// Another process finished in the interim; just continue.
+			if q.state != stateFinished {
+				// It yielded again (shouldn't happen when aborted), resume.
+				q.aborted = true
+				q.resume <- struct{}{}
+			}
+		}
+	}
+	if finish < s.now {
+		finish = s.now
+	}
+	return finish, firstErr
+}
+
+func (s *Simulation) deadlockError() error {
+	var stuck []string
+	for _, p := range s.procs {
+		if p.state != stateFinished {
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("des: deadlock at t=%d; blocked processes: %v", s.now, stuck)
+}
+
+// Now returns the scheduler's current time (for inspection after Run).
+func (s *Simulation) Now() Time { return s.now }

@@ -1,0 +1,463 @@
+package des
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceAccumulates(t *testing.T) {
+	sim := New()
+	sim.Spawn("p", func(p *Process) error {
+		p.Advance(10)
+		p.Advance(5)
+		if p.Now() != 15 {
+			t.Errorf("now = %d", p.Now())
+		}
+		return nil
+	})
+	final, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 15 {
+		t.Fatalf("final = %d", final)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	sim := New()
+	sim.Spawn("p", func(p *Process) error {
+		p.AdvanceTo(100)
+		p.AdvanceTo(50) // no-op: in the past
+		if p.Now() != 100 {
+			t.Errorf("now = %d", p.Now())
+		}
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelFIFOAndLatency(t *testing.T) {
+	sim := New()
+	ch := NewChan[int](sim, "c", 4, 3)
+	sim.Spawn("producer", func(p *Process) error {
+		for i := 0; i < 3; i++ {
+			ch.Send(p, i)
+			p.Advance(1)
+		}
+		ch.Close(p)
+		return nil
+	})
+	var got []int
+	var times []Time
+	sim.Spawn("consumer", func(p *Process) error {
+		for {
+			v, ok := ch.Recv(p)
+			if !ok {
+				return nil
+			}
+			got = append(got, v)
+			times = append(times, p.Now())
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	// Element i sent at time i, visible at i+3.
+	for i, tm := range times {
+		if tm != Time(i+3) {
+			t.Fatalf("recv times = %v", times)
+		}
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	// Capacity-1 channel with a slow consumer: producer sends are gated by
+	// consumer receives.
+	sim := New()
+	ch := NewChan[int](sim, "c", 1, 0)
+	var sendTimes []Time
+	sim.Spawn("producer", func(p *Process) error {
+		for i := 0; i < 3; i++ {
+			ch.Send(p, i)
+			sendTimes = append(sendTimes, p.Now())
+		}
+		ch.Close(p)
+		return nil
+	})
+	sim.Spawn("consumer", func(p *Process) error {
+		for {
+			_, ok := ch.Recv(p)
+			if !ok {
+				return nil
+			}
+			p.Advance(10)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First send at 0. Consumer receives at 0, busy until 10; second send
+	// completes at 0 (fills the slot), gets received at 10; third send can
+	// only complete at 10.
+	if sendTimes[0] != 0 || sendTimes[1] != 0 || sendTimes[2] != 10 {
+		t.Fatalf("send times = %v", sendTimes)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	sim := New()
+	ch := NewChan[int](sim, "never", 1, 0)
+	sim.Spawn("stuck", func(p *Process) error {
+		_, _ = ch.Recv(p)
+		return nil
+	})
+	_, err := sim.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error should name the process: %v", err)
+	}
+}
+
+func TestProcessErrorPropagates(t *testing.T) {
+	sim := New()
+	ch := NewChan[int](sim, "c", 1, 0)
+	sim.Spawn("failing", func(p *Process) error {
+		return errTest
+	})
+	sim.Spawn("waiting", func(p *Process) error {
+		_, _ = ch.Recv(p) // would deadlock, but abort should clean it up
+		return nil
+	})
+	_, err := sim.Run()
+	if err == nil || !strings.Contains(err.Error(), "failing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errTest = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestPanicBecomesError(t *testing.T) {
+	sim := New()
+	sim.Spawn("panicky", func(p *Process) error {
+		panic("oops")
+	})
+	_, err := sim.Run()
+	if err == nil || !strings.Contains(err.Error(), "oops") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	// Two-stage pipeline, each stage 5 cycles/item, 4 items. With
+	// pipelining: finish ≈ 5*4 + 5 = 25, not 40.
+	sim := New()
+	ch := NewChan[int](sim, "mid", 2, 0)
+	sim.Spawn("stage1", func(p *Process) error {
+		for i := 0; i < 4; i++ {
+			p.Advance(5)
+			ch.Send(p, i)
+		}
+		ch.Close(p)
+		return nil
+	})
+	sim.Spawn("stage2", func(p *Process) error {
+		for {
+			_, ok := ch.Recv(p)
+			if !ok {
+				return nil
+			}
+			p.Advance(5)
+		}
+	})
+	final, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 25 {
+		t.Fatalf("final = %d, want 25", final)
+	}
+}
+
+func TestSelectArrivalOrder(t *testing.T) {
+	sim := New()
+	a := NewChan[string](sim, "a", 4, 0)
+	b := NewChan[string](sim, "b", 4, 0)
+	sim.Spawn("pa", func(p *Process) error {
+		p.Advance(5)
+		a.Send(p, "a@5")
+		a.Close(p)
+		return nil
+	})
+	sim.Spawn("pb", func(p *Process) error {
+		p.Advance(2)
+		b.Send(p, "b@2")
+		b.Close(p)
+		return nil
+	})
+	var order []string
+	sim.Spawn("merge", func(p *Process) error {
+		for {
+			i := Select(p, a, b)
+			if i < 0 {
+				return nil
+			}
+			if i == 0 {
+				v, _ := a.Recv(p)
+				order = append(order, v)
+			} else {
+				v, _ := b.Recv(p)
+				order = append(order, v)
+			}
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "b@2" || order[1] != "a@5" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSelectAllDrained(t *testing.T) {
+	sim := New()
+	a := NewChan[int](sim, "a", 1, 0)
+	sim.Spawn("closer", func(p *Process) error {
+		a.Close(p)
+		return nil
+	})
+	got := 99
+	sim.Spawn("sel", func(p *Process) error {
+		got = Select(p, a)
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != -1 {
+		t.Fatalf("select = %d, want -1", got)
+	}
+}
+
+func TestSelectTieBreaksByArrival(t *testing.T) {
+	// Both items visible at the same time; the one enqueued first wins.
+	sim := New()
+	a := NewChan[int](sim, "a", 1, 0)
+	b := NewChan[int](sim, "b", 1, 0)
+	sim.Spawn("pb", func(p *Process) error { // spawned first: sends first at t=0
+		b.Send(p, 1)
+		b.Close(p)
+		return nil
+	})
+	sim.Spawn("pa", func(p *Process) error {
+		a.Send(p, 0)
+		a.Close(p)
+		return nil
+	})
+	var first int
+	sim.Spawn("sel", func(p *Process) error {
+		p.Advance(1) // let both arrive
+		first = Select(p, a, b)
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first = %d, want channel b (index 1, earliest arrival)", first)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Time, []int) {
+		sim := New()
+		ch := NewChan[int](sim, "c", 3, 1)
+		out := NewChan[int](sim, "o", 3, 1)
+		var got []int
+		sim.Spawn("gen", func(p *Process) error {
+			for i := 0; i < 20; i++ {
+				p.Advance(Time(i%3 + 1))
+				ch.Send(p, i)
+			}
+			ch.Close(p)
+			return nil
+		})
+		sim.Spawn("double", func(p *Process) error {
+			defer out.Close(p)
+			for {
+				v, ok := ch.Recv(p)
+				if !ok {
+					return nil
+				}
+				p.Advance(2)
+				out.Send(p, v*2)
+			}
+		})
+		sim.Spawn("sink", func(p *Process) error {
+			for {
+				v, ok := out.Recv(p)
+				if !ok {
+					return nil
+				}
+				got = append(got, v)
+			}
+		})
+		final, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return final, got
+	}
+	f1, g1 := run()
+	for i := 0; i < 5; i++ {
+		f2, g2 := run()
+		if f1 != f2 || len(g1) != len(g2) {
+			t.Fatalf("nondeterministic: %d vs %d", f1, f2)
+		}
+		for j := range g1 {
+			if g1[j] != g2[j] {
+				t.Fatal("nondeterministic data order")
+			}
+		}
+	}
+}
+
+func TestChanStats(t *testing.T) {
+	sim := New()
+	ch := NewChan[int](sim, "c", 8, 0)
+	sim.Spawn("p", func(p *Process) error {
+		for i := 0; i < 5; i++ {
+			ch.Send(p, i)
+		}
+		ch.Close(p)
+		return nil
+	})
+	sim.Spawn("c", func(p *Process) error {
+		for {
+			if _, ok := ch.Recv(p); !ok {
+				return nil
+			}
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Sent() != 5 {
+		t.Fatalf("sent = %d", ch.Sent())
+	}
+	if ch.Name() != "c" {
+		t.Fatalf("name = %s", ch.Name())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChan[int](New(), "bad", 0, 0)
+}
+
+// Property: a single producer/consumer pair transfers every value in order
+// for arbitrary small capacities, latencies, and item counts.
+func TestQuickChannelConservation(t *testing.T) {
+	f := func(cap8, lat8, n8 uint8) bool {
+		capacity := int(cap8%4) + 1
+		latency := Time(lat8 % 5)
+		n := int(n8 % 40)
+		sim := New()
+		ch := NewChan[int](sim, "c", capacity, latency)
+		sim.Spawn("prod", func(p *Process) error {
+			for i := 0; i < n; i++ {
+				ch.Send(p, i)
+			}
+			ch.Close(p)
+			return nil
+		})
+		var got []int
+		sim.Spawn("cons", func(p *Process) error {
+			for {
+				v, ok := ch.Recv(p)
+				if !ok {
+					return nil
+				}
+				got = append(got, v)
+			}
+		})
+		if _, err := sim.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: final time of a two-stage pipeline equals the analytic bound
+// max(n*s1, n*s2) + min(s1, s2) for ample buffering ... we check the looser
+// invariant that it is at least the bottleneck time and at most the serial
+// time.
+func TestQuickPipelineBounds(t *testing.T) {
+	f := func(s1x, s2x, n8 uint8) bool {
+		s1 := Time(s1x%7) + 1
+		s2 := Time(s2x%7) + 1
+		n := int(n8%20) + 1
+		sim := New()
+		ch := NewChan[int](sim, "mid", 1024, 0)
+		sim.Spawn("a", func(p *Process) error {
+			for i := 0; i < n; i++ {
+				p.Advance(s1)
+				ch.Send(p, i)
+			}
+			ch.Close(p)
+			return nil
+		})
+		sim.Spawn("b", func(p *Process) error {
+			for {
+				if _, ok := ch.Recv(p); !ok {
+					return nil
+				}
+				p.Advance(s2)
+			}
+		})
+		final, err := sim.Run()
+		if err != nil {
+			return false
+		}
+		bottleneck := Time(n) * maxT(s1, s2)
+		serial := Time(n) * (s1 + s2)
+		return final >= bottleneck && final <= serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxT(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

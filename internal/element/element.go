@@ -1,0 +1,270 @@
+// Package element defines the values that flow through STeP streams:
+// data elements carrying a tile, selector, buffer reference, or tuple;
+// stop tokens S_N marking dimension ends; and the Done token terminating
+// a stream (paper §3.1).
+package element
+
+import (
+	"fmt"
+	"strings"
+
+	"step/internal/shape"
+	"step/internal/tile"
+)
+
+// Kind discriminates stream elements.
+type Kind int
+
+const (
+	// Data elements carry a Value.
+	Data Kind = iota
+	// Stop tokens S_N mark the end of the rank-N dimension (N >= 1).
+	Stop
+	// Done marks stream termination.
+	Done
+)
+
+// Element is one token in a stream.
+type Element struct {
+	Kind  Kind
+	Level int   // stop-token rank N, valid when Kind == Stop
+	Value Value // payload, valid when Kind == Data
+}
+
+// DataOf wraps a value into a data element.
+func DataOf(v Value) Element { return Element{Kind: Data, Value: v} }
+
+// StopOf returns the stop token S_n.
+func StopOf(n int) Element {
+	if n < 1 {
+		panic(fmt.Sprintf("element: stop level must be >= 1, got %d", n))
+	}
+	return Element{Kind: Stop, Level: n}
+}
+
+// DoneElem is the stream-terminating token.
+var DoneElem = Element{Kind: Done}
+
+// IsData reports whether the element carries a value.
+func (e Element) IsData() bool { return e.Kind == Data }
+
+func (e Element) String() string {
+	switch e.Kind {
+	case Data:
+		return fmt.Sprint(e.Value)
+	case Stop:
+		return fmt.Sprintf("S%d", e.Level)
+	default:
+		return "D"
+	}
+}
+
+// Value is the payload of a data element. Implementations are Tile,
+// Selector, BufRef, Tuple, and Scalar.
+type Value interface {
+	// Bytes is the modeled wire size of the value, used by the Roofline
+	// performance model.
+	Bytes() int64
+	fmt.Stringer
+}
+
+// TileVal wraps a tile as a stream value.
+type TileVal struct{ T *tile.Tile }
+
+// Bytes returns the tile footprint.
+func (v TileVal) Bytes() int64   { return v.T.Bytes() }
+func (v TileVal) String() string { return v.T.String() }
+
+// Selector is a multi-hot vector used by routing and merging operators
+// (§3.2.3). Indices lists the set bits in increasing order.
+type Selector struct {
+	N       int   // domain size (number of routable streams)
+	Indices []int // selected streams, strictly increasing
+}
+
+// NewSelector builds a selector over n streams with the given set bits.
+func NewSelector(n int, indices ...int) Selector {
+	for i, idx := range indices {
+		if idx < 0 || idx >= n {
+			panic(fmt.Sprintf("element: selector index %d out of [0,%d)", idx, n))
+		}
+		if i > 0 && indices[i-1] >= idx {
+			panic("element: selector indices must be strictly increasing")
+		}
+	}
+	return Selector{N: n, Indices: indices}
+}
+
+// Bytes models the selector as one bit per stream, rounded up to a byte.
+func (s Selector) Bytes() int64 { return int64((s.N + 7) / 8) }
+
+func (s Selector) String() string {
+	parts := make([]string, len(s.Indices))
+	for i, idx := range s.Indices {
+		parts[i] = fmt.Sprint(idx)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Has reports whether stream i is selected.
+func (s Selector) Has(i int) bool {
+	for _, idx := range s.Indices {
+		if idx == i {
+			return true
+		}
+		if idx > i {
+			return false
+		}
+	}
+	return false
+}
+
+// Buffer is an on-chip allocation produced by Bufferize: the bufferized
+// stream fragment (data values plus interior stop tokens) with the logical
+// shape of the bufferized region. Buffers are read-only once emitted.
+type Buffer struct {
+	ID int
+	// Body is the bufferized stream fragment, excluding the closing stop.
+	Body []Element
+	// Values are the data values of Body, in order, for indexed reads.
+	Values []Value
+	// Shape is the logical stream shape of the bufferized dims.
+	Shape shape.Shape
+	// Released marks that the buffer's scratchpad bytes were freed.
+	Released bool
+}
+
+// Bytes returns the total data bytes held by the buffer.
+func (b *Buffer) Bytes() int64 {
+	var n int64
+	for _, v := range b.Values {
+		n += v.Bytes()
+	}
+	return n
+}
+
+// BufRef is a read-only reference to an on-chip buffer (§3.2.2).
+type BufRef struct{ Buf *Buffer }
+
+// Bytes models the reference itself (an address), not the buffer contents.
+func (r BufRef) Bytes() int64 { return 8 }
+
+func (r BufRef) String() string {
+	return fmt.Sprintf("Buf#%d(%d values)", r.Buf.ID, len(r.Buf.Values))
+}
+
+// Tuple pairs two values (the Zip output type).
+type Tuple struct{ A, B Value }
+
+// Bytes is the sum of the component sizes.
+func (t Tuple) Bytes() int64   { return t.A.Bytes() + t.B.Bytes() }
+func (t Tuple) String() string { return "(" + t.A.String() + "," + t.B.String() + ")" }
+
+// Scalar carries a single integer (e.g. addresses for random off-chip
+// access, or bool flags on padding streams). Modeled as a [1,1] tile of an
+// integer data type per Appendix B.1.
+type Scalar struct{ V int64 }
+
+// Bytes models a 4-byte scalar.
+func (s Scalar) Bytes() int64   { return 4 }
+func (s Scalar) String() string { return fmt.Sprint(s.V) }
+
+// Flag carries a boolean (Reshape's padding stream, RandomOffChipStore's
+// ack stream).
+type Flag struct{ B bool }
+
+// Bytes models a 1-byte flag.
+func (f Flag) Bytes() int64   { return 1 }
+func (f Flag) String() string { return fmt.Sprint(f.B) }
+
+// FormatStream renders a slice of elements like the paper's examples,
+// e.g. "1,2,S1,3,S2,D".
+func FormatStream(es []Element) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// CountData returns the number of data elements in a stream prefix.
+func CountData(es []Element) int {
+	n := 0
+	for _, e := range es {
+		if e.IsData() {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidateStream checks well-formedness of a finite stream: exactly one
+// trailing Done, stop levels >= 1, and no data after Done. It returns the
+// first violation found.
+func ValidateStream(es []Element) error {
+	if len(es) == 0 {
+		return fmt.Errorf("element: empty stream (missing Done)")
+	}
+	for i, e := range es {
+		switch e.Kind {
+		case Done:
+			if i != len(es)-1 {
+				return fmt.Errorf("element: Done at position %d before end", i)
+			}
+		case Stop:
+			if e.Level < 1 {
+				return fmt.Errorf("element: stop level %d < 1 at position %d", e.Level, i)
+			}
+		}
+	}
+	if es[len(es)-1].Kind != Done {
+		return fmt.Errorf("element: stream does not end with Done")
+	}
+	return nil
+}
+
+// InferShape reconstructs the concrete bracketed extents of a well-formed
+// stream of the given rank. It returns, per dimension (innermost first),
+// the multiset of observed extents. A regular dimension observes a single
+// extent value; a ragged one observes several. This is the runtime dual of
+// the symbolic shape and is used by tests and the simulator's shape
+// verifier.
+func InferShape(es []Element, rank int) ([][]int, error) {
+	if err := ValidateStream(es); err != nil {
+		return nil, err
+	}
+	counts := make([]int, rank+1) // counts[i] = open count at dim i
+	extents := make([][]int, rank)
+	for _, e := range es {
+		switch e.Kind {
+		case Data:
+			counts[0]++
+		case Stop:
+			if e.Level > rank {
+				return nil, fmt.Errorf("element: stop level %d exceeds rank %d", e.Level, rank)
+			}
+			// Close inner dims. Count for dim e.Level-1 is its element
+			// count; each enclosing dim gains one completed sub-tensor.
+			for d := 1; d <= e.Level; d++ {
+				extents[d-1] = append(extents[d-1], counts[d-1])
+				counts[d-1] = 0
+				if d < len(counts) {
+					counts[d]++
+				}
+			}
+		case Done:
+			// Close any still-open dims. A dim is open iff it has pending
+			// sub-elements; dims already closed by a trailing stop token
+			// must not record spurious zero extents.
+			for d := 1; d <= rank; d++ {
+				if counts[d-1] == 0 {
+					continue
+				}
+				extents[d-1] = append(extents[d-1], counts[d-1])
+				counts[d-1] = 0
+				counts[d]++
+			}
+		}
+	}
+	return extents, nil
+}

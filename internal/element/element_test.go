@@ -1,0 +1,207 @@
+package element
+
+import (
+	"testing"
+	"testing/quick"
+
+	"step/internal/shape"
+	"step/internal/tile"
+)
+
+func sc(v int64) Element { return DataOf(Scalar{V: v}) }
+
+func TestElementKinds(t *testing.T) {
+	d := DataOf(Scalar{V: 3})
+	if !d.IsData() || d.String() != "3" {
+		t.Fatalf("data elem = %v", d)
+	}
+	s := StopOf(2)
+	if s.Kind != Stop || s.Level != 2 || s.String() != "S2" {
+		t.Fatalf("stop = %v", s)
+	}
+	if DoneElem.String() != "D" {
+		t.Fatalf("done = %v", DoneElem)
+	}
+}
+
+func TestStopLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for S0")
+		}
+	}()
+	StopOf(0)
+}
+
+func TestSelector(t *testing.T) {
+	s := NewSelector(8, 0, 7)
+	if !s.Has(0) || !s.Has(7) || s.Has(3) {
+		t.Fatal("selector membership wrong")
+	}
+	if s.String() != "(0,7)" {
+		t.Fatalf("selector string = %s", s)
+	}
+	if s.Bytes() != 1 {
+		t.Fatalf("selector bytes = %d", s.Bytes())
+	}
+}
+
+func TestSelectorValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewSelector(4, 4) },
+		func() { NewSelector(4, -1) },
+		func() { NewSelector(4, 2, 1) },
+		func() { NewSelector(4, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestValuesBytes(t *testing.T) {
+	tv := TileVal{T: tile.New(4, 4)}
+	if tv.Bytes() != 32 {
+		t.Fatalf("tile bytes = %d", tv.Bytes())
+	}
+	tp := Tuple{A: tv, B: Scalar{V: 1}}
+	if tp.Bytes() != 36 {
+		t.Fatalf("tuple bytes = %d", tp.Bytes())
+	}
+	b := &Buffer{ID: 1, Values: []Value{TileVal{T: tile.New(2, 2)}, TileVal{T: tile.New(2, 2)}}, Shape: shape.OfInts(2)}
+	if b.Bytes() != 16 {
+		t.Fatalf("buffer bytes = %d", b.Bytes())
+	}
+	r := BufRef{Buf: b}
+	if r.Bytes() != 8 {
+		t.Fatalf("bufref bytes = %d", r.Bytes())
+	}
+	if (Flag{B: true}).Bytes() != 1 {
+		t.Fatal("flag bytes")
+	}
+}
+
+func TestFormatStream(t *testing.T) {
+	// Example (1) from §3.1: 1,2,S1,3,S2,4,S1,5,6,7,S2,D.
+	es := []Element{sc(1), sc(2), StopOf(1), sc(3), StopOf(2), sc(4), StopOf(1), sc(5), sc(6), sc(7), StopOf(2), DoneElem}
+	if got := FormatStream(es); got != "1,2,S1,3,S2,4,S1,5,6,7,S2,D" {
+		t.Fatalf("format = %s", got)
+	}
+	if CountData(es) != 7 {
+		t.Fatalf("count = %d", CountData(es))
+	}
+}
+
+func TestValidateStream(t *testing.T) {
+	good := []Element{sc(1), StopOf(1), DoneElem}
+	if err := ValidateStream(good); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]Element{
+		{},
+		{sc(1)},
+		{DoneElem, sc(1)},
+		{{Kind: Stop, Level: 0}, DoneElem},
+	}
+	for i, c := range cases {
+		if err := ValidateStream(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestInferShapePaperExample(t *testing.T) {
+	// Shape [2,2,D0] with ragged D0: extents per dim (innermost first):
+	// dim0: {2,1,1,3}, dim1: {2,2}, dim2: {2}.
+	es := []Element{sc(1), sc(2), StopOf(1), sc(3), StopOf(2), sc(4), StopOf(1), sc(5), sc(6), sc(7), StopOf(2), DoneElem}
+	ext, err := InferShape(es, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDim0 := []int{2, 1, 1, 3}
+	if len(ext[0]) != 4 {
+		t.Fatalf("dim0 extents = %v", ext[0])
+	}
+	for i, w := range wantDim0 {
+		if ext[0][i] != w {
+			t.Fatalf("dim0 = %v, want %v", ext[0], wantDim0)
+		}
+	}
+	if len(ext[1]) != 2 || ext[1][0] != 2 || ext[1][1] != 2 {
+		t.Fatalf("dim1 = %v", ext[1])
+	}
+	if len(ext[2]) != 1 || ext[2][0] != 2 {
+		t.Fatalf("dim2 = %v", ext[2])
+	}
+}
+
+func TestInferShapeImplicitClose(t *testing.T) {
+	// A stream ending in Done without a top-level stop still closes dims.
+	es := []Element{sc(1), sc(2), DoneElem}
+	ext, err := InferShape(es, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext[0]) != 1 || ext[0][0] != 2 {
+		t.Fatalf("extents = %v", ext)
+	}
+}
+
+func TestInferShapeRejectsOverRank(t *testing.T) {
+	es := []Element{sc(1), StopOf(3), DoneElem}
+	if _, err := InferShape(es, 2); err == nil {
+		t.Fatal("expected rank violation")
+	}
+}
+
+func TestInferShapeEmptyTensor(t *testing.T) {
+	// Stream with only Done: zero tensors, no extents recorded.
+	ext, err := InferShape([]Element{DoneElem}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext[0]) != 0 || len(ext[1]) != 0 {
+		t.Fatalf("extents = %v", ext)
+	}
+}
+
+// Property: for a regular [a,b] stream built programmatically, InferShape
+// recovers extents b (a times) and a (once).
+func TestQuickInferRegular(t *testing.T) {
+	f := func(a8, b8 uint8) bool {
+		a, b := int(a8%5)+1, int(b8%5)+1
+		var es []Element
+		for i := 0; i < a; i++ {
+			for j := 0; j < b; j++ {
+				es = append(es, sc(int64(i*b+j)))
+			}
+			if i == a-1 {
+				es = append(es, StopOf(2))
+			} else {
+				es = append(es, StopOf(1))
+			}
+		}
+		es = append(es, DoneElem)
+		ext, err := InferShape(es, 2)
+		if err != nil {
+			return false
+		}
+		if len(ext[0]) != a || len(ext[1]) != 1 || ext[1][0] != a {
+			return false
+		}
+		for _, e := range ext[0] {
+			if e != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

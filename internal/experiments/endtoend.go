@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"step/internal/graph"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// Figure17 evaluates end-to-end decoder models under three schedules:
+// static memory-matched, static performance-matched, and dynamic (dynamic
+// tiling + dynamic parallelization + time-multiplexing where the expert
+// pool allows). The matched static tile sizes are derived from the batch-64
+// tiling sweep, mirroring the paper's methodology ("the same closest points
+// along each axis from Fig. 9").
+func Figure17(s Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "End-to-end decoder: speedup, on-chip memory, allocated compute",
+		Header: []string{"Model", "Schedule", "CyclesTotal", "Speedup", "OnchipBytes", "AllocComputeFLOPs/cyc"},
+	}
+	const batch = 64
+	sampleLayers := 2
+	if s.Quick {
+		sampleLayers = 1
+	}
+	for _, base := range []workloads.ModelConfig{
+		workloads.MixtralConfig(),
+		workloads.Qwen3Config(),
+	} {
+		model := base.Scaled(ExperimentScale)
+		// Derive matched tile sizes from the tiling sweep.
+		static, dyn, err := runTilingSweep(s, model, batch, []int{8, 16, 32, 64})
+		if err != nil {
+			return nil, err
+		}
+		memTile, perfTile := matchTiles(static, dyn)
+
+		kv := trace.SampleKVLengths(batch, 2048, trace.VarMed, s.Seed)
+		run := func(cfg workloads.DecoderConfig) (workloads.DecoderResult, error) {
+			cfg.Model = model
+			cfg.Batch = batch
+			cfg.KVLens = kv
+			cfg.SampleLayers = sampleLayers
+			cfg.Skew = trace.SkewHeavy
+			cfg.Seed = s.Seed
+			return workloads.RunDecoder(cfg, graph.DefaultConfig())
+		}
+		memRes, err := run(workloads.DecoderConfig{
+			MoETile: memTile, AttnStrategy: workloads.StaticInterleaved,
+		})
+		if err != nil {
+			return nil, err
+		}
+		perfRes, err := run(workloads.DecoderConfig{
+			MoETile: perfTile, AttnStrategy: workloads.StaticInterleaved,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Time-multiplexing applies when only a small fraction of a large
+		// expert pool is active (the paper skips it for Mixtral at
+		// batch 64, where all 8 experts are active).
+		dynRegions := 0
+		if model.NumExperts >= 64 {
+			dynRegions = 16
+		}
+		dynRes, err := run(workloads.DecoderConfig{
+			MoEDynamic: true, MoERegions: dynRegions,
+			AttnStrategy: workloads.DynamicParallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		add := func(name string, r workloads.DecoderResult) {
+			t.AddRow(model.Name, name, uint64(r.CyclesTotal),
+				float64(memRes.CyclesTotal)/float64(r.CyclesTotal),
+				r.OnchipBytes, r.AllocatedComputeBW)
+		}
+		add("static-mem-matched(tile="+strconv.Itoa(memTile)+")", memRes)
+		add("static-perf-matched(tile="+strconv.Itoa(perfTile)+")", perfRes)
+		add("dynamic", dynRes)
+		t.Notef("%s: dynamic speedup vs mem-matched %.2fx (paper: 1.27x Mixtral / 1.15x Qwen); onchip vs perf-matched %.0f%% smaller",
+			model.Name,
+			float64(memRes.CyclesTotal)/float64(dynRes.CyclesTotal),
+			100*(1-float64(dynRes.OnchipBytes)/float64(perfRes.OnchipBytes)))
+	}
+	return t, nil
+}
+
+// matchTiles picks the static tiles closest to the dynamic point on the
+// memory and cycles axes respectively.
+func matchTiles(static []tilingPoint, dyn tilingPoint) (memTile, perfTile int) {
+	bestMem, bestPerf := math.Inf(1), math.Inf(1)
+	memTile, perfTile = static[0].tile, static[0].tile
+	for _, p := range static {
+		if d := math.Abs(math.Log(float64(p.onchip) / float64(dyn.onchip))); d < bestMem {
+			bestMem, memTile = d, p.tile
+		}
+		if d := math.Abs(math.Log(float64(p.cycles) / float64(dyn.cycles))); d < bestPerf {
+			bestPerf, perfTile = d, p.tile
+		}
+	}
+	return memTile, perfTile
+}

@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: one function per artifact, each producing the same
+// rows/series the paper reports, runnable from the CLI
+// (cmd/experiments), from benchmarks (bench_test.go), or programmatically.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig9"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries derived headline numbers (PIDs, speedups).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Notef appends a formatted headline note.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// CSV renders the table as CSV.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders an aligned console table with title and notes.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "-- %s\n", n)
+	}
+	return b.String()
+}
+
+// Suite configures a run of the experiment set.
+type Suite struct {
+	// Seed drives every synthetic trace.
+	Seed uint64
+	// Quick shrinks sweeps (used by -short tests); full mode matches the
+	// paper's parameter grids.
+	Quick bool
+}
+
+// DefaultSuite is the reproducible default.
+func DefaultSuite() Suite { return Suite{Seed: 7} }
+
+// Runner is an experiment entry point.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func(Suite) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", "Landscape of programming abstractions for SDAs", func(s Suite) (*Table, error) { return Table1(), nil }},
+		{"fig1", "SDA vs GPU effective bandwidth (roofline reconstruction)", func(s Suite) (*Table, error) { return Figure1(), nil }},
+		{"fig8", "Simulator validation vs fine-grained reference (SwiGLU tile sweep)", Figure8},
+		{"fig9", "Dynamic tiling Pareto, batch 64", Figure9},
+		{"fig10", "Dynamic tiling Pareto, batch 1024", Figure10},
+		{"fig12", "Configuration time-multiplexing: compute utilization", Figure12},
+		{"fig13", "Configuration time-multiplexing: resources", Figure13},
+		{"fig14", "Dynamic parallelization vs static interleaved (KV variance)", Figure14},
+		{"fig15", "Dynamic vs static coarse across batch sizes", Figure15},
+		{"fig17", "End-to-end decoder models", Figure17},
+		{"fig18", "Hierarchical tiling transformation", Figure18},
+		{"fig19", "Off-chip traffic vs on-chip memory, batch 64", Figure19},
+		{"fig20", "Off-chip traffic vs on-chip memory, batch 1024", Figure20},
+		{"fig21", "Parallelization ablation", Figure21},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math"
+
+	"step/internal/graph"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// runAttention measures one attention configuration. coarseBlock > 0
+// fixes the per-region block size for the coarse strategy.
+func runAttention(model workloads.ModelConfig, kv []int, strategy workloads.ParallelStrategy, micro []int, coarseBlock int) (uint64, error) {
+	a, err := workloads.BuildAttention(workloads.AttentionConfig{
+		Model:        model,
+		KVLens:       kv,
+		Strategy:     strategy,
+		Regions:      4,
+		KVChunk:      64,
+		Microbatches: micro,
+		CoarseBlock:  coarseBlock,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := a.Graph.Run(graph.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	return uint64(res.Cycles), nil
+}
+
+// Figure14 compares dynamic parallelization against static interleaved
+// across KV-length variance classes at batch 64.
+func Figure14(s Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Dynamic parallelization vs static interleaved (batch=64)",
+		Header: []string{"KVVariance", "InterleavedCycles", "DynamicCycles", "Speedup"},
+	}
+	model := workloads.Qwen3Config().Scaled(ExperimentScale)
+	for _, class := range []trace.VarianceClass{trace.VarLow, trace.VarMed, trace.VarHigh} {
+		kv := trace.SampleKVLengths(64, 2048, class, s.Seed)
+		ic, err := runAttention(model, kv, workloads.StaticInterleaved, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(class.String(), ic, dc, float64(ic)/float64(dc))
+	}
+	t.Notef("speedups should grow with variance (paper: 1.14-1.26x low, 1.47-1.57x high)")
+	return t, nil
+}
+
+// Figure15 compares static coarse-grained parallelization with dynamic
+// across batch sizes (coarse blocks of 16 requests per region).
+func Figure15(s Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Static coarse vs dynamic parallelization across batch sizes",
+		Header: []string{"Batch", "CoarseCycles", "DynamicCycles", "Speedup"},
+	}
+	model := workloads.Qwen3Config().Scaled(ExperimentScale)
+	for _, b := range []int{16, 32, 48, 64} {
+		kv := trace.SampleKVLengths(b, 2048, trace.VarMed, s.Seed+uint64(b))
+		// Coarse fixes 16 requests per region regardless of batch, so
+		// small batches leave regions idle (§5.4).
+		cc, err := runAttention(model, kv, workloads.StaticCoarse, nil, 16)
+		if err != nil {
+			return nil, err
+		}
+		dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(b, cc, dc, float64(cc)/float64(dc))
+	}
+	t.Notef("largest win at batch=16 where coarse leaves regions idle (paper: 2.72x at 16, 1.43x at 64)")
+	return t, nil
+}
+
+// Figure21 is the parallelization ablation: all three strategies across
+// batch compositions and variance classes, normalized to dynamic, geomean
+// over three sampled batches.
+func Figure21(s Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig21",
+		Title:  "Parallelization ablation (normalized cycles vs dynamic)",
+		Header: []string{"Batch", "KVVariance", "Coarse/Dyn", "Interleaved/Dyn"},
+	}
+	model := workloads.Qwen3Config().Scaled(ExperimentScale)
+	type batchSpec struct {
+		name  string
+		sizes []int
+	}
+	specs := []batchSpec{{"16", []int{16}}, {"64", []int{64}}, {"64+16", []int{64, 16}}}
+	samples := 3
+	if s.Quick {
+		samples = 1
+	}
+	var coarseRatios, intlRatios []float64
+	for _, spec := range specs {
+		total := 0
+		for _, b := range spec.sizes {
+			total += b
+		}
+		for _, class := range []trace.VarianceClass{trace.VarHigh, trace.VarMed, trace.VarLow} {
+			gc, gi := 1.0, 1.0
+			for i := 0; i < samples; i++ {
+				kv := trace.SampleKVLengths(total, 2048, class, s.Seed+uint64(i)*131+uint64(total))
+				var micro []int
+				if len(spec.sizes) > 1 {
+					micro = spec.sizes
+				}
+				cc, err := runAttention(model, kv, workloads.StaticCoarse, micro, 16)
+				if err != nil {
+					return nil, err
+				}
+				ic, err := runAttention(model, kv, workloads.StaticInterleaved, nil, 0)
+				if err != nil {
+					return nil, err
+				}
+				dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+				if err != nil {
+					return nil, err
+				}
+				gc *= float64(cc) / float64(dc)
+				gi *= float64(ic) / float64(dc)
+			}
+			gc = math.Pow(gc, 1/float64(samples))
+			gi = math.Pow(gi, 1/float64(samples))
+			coarseRatios = append(coarseRatios, gc)
+			intlRatios = append(intlRatios, gi)
+			t.AddRow(spec.name, class.String(), gc, gi)
+		}
+	}
+	t.Notef("geomean normalized cycles: coarse %.2fx, interleaved %.2fx (paper: 1.85x, 1.36x)",
+		geomean(coarseRatios), geomean(intlRatios))
+	return t, nil
+}
+
+func geomean(xs []float64) float64 {
+	p := 1.0
+	for _, x := range xs {
+		p *= x
+	}
+	return math.Pow(p, 1/float64(len(xs)))
+}

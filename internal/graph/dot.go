@@ -1,0 +1,26 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz DOT format, labeling edges with their
+// stream shapes and data types — handy for debugging schedules and for the
+// paper-style figures of STeP graphs.
+func (g *Graph) Dot(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", title)
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, n.Op.Name())
+	}
+	for _, s := range g.streams {
+		if s.prod == nil || s.cons == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n",
+			s.prod.ID, s.cons.ID, fmt.Sprintf("%s %s", s.Shape, s.DType))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+
+	"step/internal/shape"
+	"step/internal/symbolic"
+	"step/internal/tile"
+)
+
+// DType describes the data type carried by a stream (§3.1: tile, selector,
+// reference to on-chip memory, or tuple).
+type DType interface {
+	// Bytes is the symbolic size of one value of this type.
+	Bytes() symbolic.Expr
+	fmt.Stringer
+}
+
+// TileType is a two-dimensional tile whose extents may be dynamic.
+type TileType struct {
+	Rows, Cols shape.Dim
+}
+
+// StaticTile builds a tile type with static extents.
+func StaticTile(rows, cols int) TileType {
+	return TileType{Rows: shape.Static(rows), Cols: shape.Static(cols)}
+}
+
+// DynamicRowTile builds a tile type with a dynamic row extent.
+func DynamicRowTile(rows symbolic.Expr, cols int) TileType {
+	return TileType{Rows: shape.Dynamic(rows), Cols: shape.Static(cols)}
+}
+
+// Bytes is rows*cols*elem.
+func (t TileType) Bytes() symbolic.Expr {
+	return symbolic.Mul(t.Rows.Size, t.Cols.Size, symbolic.Const(tile.ElemBytes))
+}
+
+func (t TileType) String() string {
+	return fmt.Sprintf("Tile[%s,%s]", t.Rows, t.Cols)
+}
+
+// StaticDims returns the static extents, or ok=false if either is dynamic.
+func (t TileType) StaticDims() (rows, cols int, ok bool) {
+	r, okR := t.Rows.IsStatic()
+	c, okC := t.Cols.IsStatic()
+	return r, c, okR && okC
+}
+
+// SelectorType is a multi-hot selector over N streams.
+type SelectorType struct{ N int }
+
+// Bytes models one bit per stream.
+func (s SelectorType) Bytes() symbolic.Expr {
+	return symbolic.Const(int64((s.N + 7) / 8))
+}
+
+func (s SelectorType) String() string { return fmt.Sprintf("Sel[%d]", s.N) }
+
+// BufferType is a read-only reference to an on-chip buffer of Elem values
+// with the given logical (bufferized) shape.
+type BufferType struct {
+	Elem  DType
+	Shape shape.Shape
+}
+
+// Bytes models the reference (an address), not the buffer contents.
+func (b BufferType) Bytes() symbolic.Expr { return symbolic.Const(8) }
+
+// ContentsBytes is the symbolic size of the referenced buffer.
+func (b BufferType) ContentsBytes() symbolic.Expr {
+	return symbolic.Mul(b.Shape.Cardinality(), b.Elem.Bytes())
+}
+
+func (b BufferType) String() string {
+	return fmt.Sprintf("Buf<%s,%s>", b.Elem, b.Shape)
+}
+
+// TupleType pairs two data types (the Zip output).
+type TupleType struct{ A, B DType }
+
+// Bytes is the sum of the component sizes.
+func (t TupleType) Bytes() symbolic.Expr { return symbolic.Add(t.A.Bytes(), t.B.Bytes()) }
+
+func (t TupleType) String() string { return "(" + t.A.String() + "," + t.B.String() + ")" }
+
+// ScalarType is a [1,1] integer tile (addresses, indices).
+type ScalarType struct{}
+
+// Bytes models a 4-byte scalar.
+func (ScalarType) Bytes() symbolic.Expr { return symbolic.Const(4) }
+func (ScalarType) String() string       { return "Scalar" }
+
+// FlagType is a boolean (padding indicators, store acks).
+type FlagType struct{}
+
+// Bytes models a 1-byte flag.
+func (FlagType) Bytes() symbolic.Expr { return symbolic.Const(1) }
+func (FlagType) String() string       { return "Flag" }

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+
+	"step/internal/des"
+	"step/internal/element"
+	"step/internal/hbm"
+	"step/internal/onchip"
+)
+
+// Machine is the simulated SDA a graph runs on: the shared off-chip memory,
+// the on-chip scratchpad tier, and channel defaults.
+type Machine struct {
+	HBM  *hbm.HBM
+	Spad *onchip.Scratchpad
+	// ChannelDepth is the default FIFO depth for streams.
+	ChannelDepth int
+	// ChannelLatency is the default FIFO latency in cycles.
+	ChannelLatency des.Time
+}
+
+// Config parameterizes a run.
+type Config struct {
+	HBM            hbm.Config
+	Onchip         onchip.Config
+	ChannelDepth   int
+	ChannelLatency des.Time
+}
+
+// DefaultConfig matches the evaluation setup of §5.1.
+func DefaultConfig() Config {
+	return Config{
+		HBM:            hbm.DefaultConfig(),
+		Onchip:         onchip.DefaultConfig(),
+		ChannelDepth:   16,
+		ChannelLatency: 1,
+	}
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// Cycles is the total execution time (first event to last).
+	Cycles des.Time
+	// OffchipTrafficBytes is total bytes moved to/from off-chip memory.
+	OffchipTrafficBytes int64
+	OffchipReadBytes    int64
+	OffchipWriteBytes   int64
+	// PeakOnchipBytes is the scratchpad high-water mark measured during
+	// the run (dynamic allocations only; see Graph.SymbolicOnchipBytes for
+	// the §4.2 requirement equation).
+	PeakOnchipBytes int64
+	// TotalFLOPs is the work performed by compute operators.
+	TotalFLOPs int64
+	// AllocatedComputeBW sums the FLOPs/cycle allocated across operators.
+	AllocatedComputeBW int64
+}
+
+// ComputeUtilization is TotalFLOPs / (AllocatedComputeBW × Cycles).
+func (r Result) ComputeUtilization() float64 {
+	if r.AllocatedComputeBW == 0 || r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TotalFLOPs) / (float64(r.AllocatedComputeBW) * float64(r.Cycles))
+}
+
+// OperationalIntensity is FLOPs per off-chip byte — the Roofline x-axis
+// the symbolic frontend exposes (§4.2).
+func (r Result) OperationalIntensity() float64 {
+	if r.OffchipTrafficBytes == 0 {
+		return 0
+	}
+	return float64(r.TotalFLOPs) / float64(r.OffchipTrafficBytes)
+}
+
+// OffchipBWUtilization is achieved / peak off-chip bandwidth.
+func (r Result) OffchipBWUtilization(peakBytesPerCycle int64) float64 {
+	if r.Cycles == 0 || peakBytesPerCycle == 0 {
+		return 0
+	}
+	return float64(r.OffchipTrafficBytes) / (float64(peakBytesPerCycle) * float64(r.Cycles))
+}
+
+// Run validates the graph, maps every node to a DES process and every
+// stream to a bounded channel, and executes to completion.
+func (g *Graph) Run(cfg Config) (Result, error) {
+	if err := g.Finalize(); err != nil {
+		return Result{}, fmt.Errorf("graph: invalid program: %w", err)
+	}
+	if cfg.ChannelDepth < 1 {
+		cfg.ChannelDepth = 1
+	}
+	sim := des.New()
+	machine := &Machine{
+		HBM:            hbm.New(cfg.HBM),
+		Spad:           onchip.New(cfg.Onchip),
+		ChannelDepth:   cfg.ChannelDepth,
+		ChannelLatency: cfg.ChannelLatency,
+	}
+	counters := &Counters{}
+
+	chans := make(map[*Stream]*Chan, len(g.streams))
+	for _, s := range g.streams {
+		depth := cfg.ChannelDepth
+		if s.depth > 0 {
+			depth = s.depth
+		}
+		lat := cfg.ChannelLatency
+		if s.latency >= 0 {
+			lat = des.Time(s.latency)
+		}
+		name := fmt.Sprintf("s%d:%s->%s", s.id, producerName(s), consumerName(s))
+		chans[s] = des.NewChan[element.Element](sim, name, depth, lat)
+	}
+	for _, n := range g.nodes {
+		node := n
+		ctx := &Ctx{Machine: machine, Counters: counters}
+		for _, in := range node.Inputs {
+			ctx.In = append(ctx.In, chans[in])
+		}
+		for _, out := range node.Outputs {
+			ctx.Out = append(ctx.Out, chans[out])
+		}
+		sim.Spawn(fmt.Sprintf("n%d:%s", node.ID, node.Op.Name()), func(p *des.Process) error {
+			ctx.P = p
+			return node.Op.Run(ctx)
+		})
+	}
+	cycles, err := sim.Run()
+	res := Result{
+		Cycles:              cycles,
+		OffchipTrafficBytes: machine.HBM.TrafficBytes(),
+		OffchipReadBytes:    machine.HBM.ReadBytes(),
+		OffchipWriteBytes:   machine.HBM.WriteBytes(),
+		PeakOnchipBytes:     machine.Spad.PeakBytes(),
+		TotalFLOPs:          counters.FLOPs,
+		AllocatedComputeBW:  g.AllocatedComputeBW(),
+	}
+	if err != nil {
+		return res, fmt.Errorf("graph: run failed: %w", err)
+	}
+	return res, nil
+}
+
+func consumerName(s *Stream) string {
+	if s.cons == nil {
+		return "?"
+	}
+	return s.cons.Op.Name()
+}

@@ -1,0 +1,139 @@
+// Package hbm models the off-chip memory system. It stands in for the
+// Ramulator 2.0 HBM node of the paper's simulator (§4.3): a shared,
+// bandwidth-limited bus with a fixed access latency. Requests from all
+// off-chip operators serialize on the bus, so aggregate off-chip bandwidth
+// saturates at the configured peak — the first-order behaviour the paper's
+// evaluation depends on (memory-bound workloads, bandwidth-utilization
+// sweeps in Fig. 13).
+//
+// Each off-chip operator opens a Port. Back-to-back requests on a port form
+// a burst and pay the access latency once; a port whose stream was
+// interrupted (bus grabbed by another port, or the operator stalled on
+// backpressure) re-pays the latency when it resumes, modeling stream
+// re-establishment.
+package hbm
+
+import (
+	"fmt"
+
+	"step/internal/des"
+)
+
+// Config describes the modeled HBM subsystem.
+type Config struct {
+	// BandwidthBytesPerCycle is the peak off-chip bandwidth.
+	BandwidthBytesPerCycle int64
+	// LatencyCycles is the exposed access latency at burst start.
+	LatencyCycles des.Time
+}
+
+// DefaultConfig matches the paper's evaluation setup (§5.1): 1024 B/cycle
+// peak off-chip bandwidth.
+func DefaultConfig() Config {
+	return Config{BandwidthBytesPerCycle: 1024, LatencyCycles: 64}
+}
+
+// HBM is the shared off-chip memory. It is safe to use from any process
+// because the DES kernel runs exactly one process at a time.
+type HBM struct {
+	cfg Config
+	// nextFree is the earliest time the bus can start a new transfer.
+	nextFree des.Time
+	// Counters.
+	readBytes  int64
+	writeBytes int64
+	busyCycles des.Time
+	nPorts     int
+}
+
+// New creates an HBM with the given configuration.
+func New(cfg Config) *HBM {
+	if cfg.BandwidthBytesPerCycle <= 0 {
+		panic(fmt.Sprintf("hbm: non-positive bandwidth %d", cfg.BandwidthBytesPerCycle))
+	}
+	return &HBM{cfg: cfg}
+}
+
+// Config returns the configuration.
+func (h *HBM) Config() Config { return h.cfg }
+
+// TrafficBytes returns total bytes moved (reads + writes).
+func (h *HBM) TrafficBytes() int64 { return h.readBytes + h.writeBytes }
+
+// ReadBytes returns total bytes read.
+func (h *HBM) ReadBytes() int64 { return h.readBytes }
+
+// WriteBytes returns total bytes written.
+func (h *HBM) WriteBytes() int64 { return h.writeBytes }
+
+// BusyCycles returns cycles the bus spent transferring data.
+func (h *HBM) BusyCycles() des.Time { return h.busyCycles }
+
+// Utilization returns achieved/peak bandwidth over a run of the given
+// total cycles.
+func (h *HBM) Utilization(total des.Time) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(h.TrafficBytes()) / (float64(h.cfg.BandwidthBytesPerCycle) * float64(total))
+}
+
+// Port is one off-chip operator's connection to the HBM. A port that
+// issues its next request no later than its previous data arrived is
+// treated as a continuous (pipelined) stream and pays the access latency
+// only at stream start; a port that stalls re-pays it on resume.
+type Port struct {
+	h *HBM
+	// lastArrival is when this port's previous data arrived.
+	lastArrival des.Time
+	started     bool
+}
+
+// NewPort opens a port.
+func (h *HBM) NewPort() *Port {
+	h.nPorts++
+	return &Port{h: h}
+}
+
+// transfer reserves the bus and advances the process to data arrival.
+func (pt *Port) transfer(p *des.Process, bytes int64, write bool) {
+	if bytes <= 0 {
+		return
+	}
+	h := pt.h
+	issue := p.Now()
+	busStart := issue
+	if h.nextFree > busStart {
+		busStart = h.nextFree
+	}
+	busy := des.Time((bytes + h.cfg.BandwidthBytesPerCycle - 1) / h.cfg.BandwidthBytesPerCycle)
+	h.nextFree = busStart + busy
+	h.busyCycles += busy
+	if write {
+		h.writeBytes += bytes
+	} else {
+		h.readBytes += bytes
+	}
+	var arrival des.Time
+	if pt.started && issue <= pt.lastArrival {
+		// Continuation: the request overlapped the in-flight window, so the
+		// latency is hidden by pipelining; data rate is bandwidth-limited.
+		arrival = pt.lastArrival
+		if busStart > arrival {
+			arrival = busStart
+		}
+		arrival += busy
+	} else {
+		arrival = busStart + busy + h.cfg.LatencyCycles
+	}
+	pt.started = true
+	pt.lastArrival = arrival
+	p.AdvanceTo(arrival)
+}
+
+// Read blocks the process until bytes have arrived from off-chip memory.
+func (pt *Port) Read(p *des.Process, bytes int64) { pt.transfer(p, bytes, false) }
+
+// Write blocks the process until bytes have been written to off-chip
+// memory.
+func (pt *Port) Write(p *des.Process, bytes int64) { pt.transfer(p, bytes, true) }

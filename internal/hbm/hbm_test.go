@@ -1,0 +1,147 @@
+package hbm
+
+import (
+	"testing"
+
+	"step/internal/des"
+)
+
+func TestSingleReadTiming(t *testing.T) {
+	sim := des.New()
+	h := New(Config{BandwidthBytesPerCycle: 100, LatencyCycles: 10})
+	var arrived des.Time
+	sim.Spawn("reader", func(p *des.Process) error {
+		pt := h.NewPort()
+		pt.Read(p, 1000) // 10 cycles busy + 10 latency
+		arrived = p.Now()
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != 20 {
+		t.Fatalf("arrival = %d, want 20", arrived)
+	}
+	if h.ReadBytes() != 1000 || h.TrafficBytes() != 1000 {
+		t.Fatalf("traffic = %d", h.TrafficBytes())
+	}
+	if h.BusyCycles() != 10 {
+		t.Fatalf("busy = %d", h.BusyCycles())
+	}
+}
+
+func TestBurstHidesLatency(t *testing.T) {
+	// Back-to-back reads on one port pay latency once.
+	sim := des.New()
+	h := New(Config{BandwidthBytesPerCycle: 100, LatencyCycles: 10})
+	var arrived des.Time
+	sim.Spawn("reader", func(p *des.Process) error {
+		pt := h.NewPort()
+		for i := 0; i < 4; i++ {
+			pt.Read(p, 500) // 5 busy each
+		}
+		arrived = p.Now()
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First read arrives at 15. Bus slots: [0,5),[5,10),[10,15),[15,20).
+	// After read 1 the port's time is 15 == nextFree start for read 4,
+	// hence later reads chain: reads 2..4 start at their slot... port time
+	// after read1 = 15 > slot starts, so subsequent starts at port time.
+	// The invariant we assert: total < 4*(5+10) (latency amortized).
+	if arrived >= 60 {
+		t.Fatalf("arrival = %d, latency not amortized", arrived)
+	}
+	if h.TrafficBytes() != 2000 {
+		t.Fatalf("traffic = %d", h.TrafficBytes())
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	// Two ports reading simultaneously serialize on the bus: total busy
+	// time equals sum of transfer times.
+	sim := des.New()
+	h := New(Config{BandwidthBytesPerCycle: 100, LatencyCycles: 0})
+	for i := 0; i < 2; i++ {
+		sim.Spawn("reader", func(p *des.Process) error {
+			pt := h.NewPort()
+			pt.Read(p, 1000) // 10 cycles each
+			return nil
+		})
+	}
+	final, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 20 {
+		t.Fatalf("final = %d, want 20 (serialized)", final)
+	}
+	if h.BusyCycles() != 20 {
+		t.Fatalf("busy = %d", h.BusyCycles())
+	}
+}
+
+func TestWriteCounters(t *testing.T) {
+	sim := des.New()
+	h := New(Config{BandwidthBytesPerCycle: 64, LatencyCycles: 1})
+	sim.Spawn("writer", func(p *des.Process) error {
+		pt := h.NewPort()
+		pt.Write(p, 128)
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.WriteBytes() != 128 || h.ReadBytes() != 0 {
+		t.Fatalf("write = %d read = %d", h.WriteBytes(), h.ReadBytes())
+	}
+}
+
+func TestZeroByteTransferIsFree(t *testing.T) {
+	sim := des.New()
+	h := New(DefaultConfig())
+	sim.Spawn("r", func(p *des.Process) error {
+		pt := h.NewPort()
+		pt.Read(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero-byte read advanced time to %d", p.Now())
+		}
+		return nil
+	})
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.TrafficBytes() != 0 {
+		t.Fatal("zero-byte read counted traffic")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	sim := des.New()
+	h := New(Config{BandwidthBytesPerCycle: 100, LatencyCycles: 0})
+	sim.Spawn("r", func(p *des.Process) error {
+		pt := h.NewPort()
+		pt.Read(p, 1000)
+		p.Advance(10) // idle tail
+		return nil
+	})
+	final, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := h.Utilization(final)
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %f, want 0.5", u)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{BandwidthBytesPerCycle: 0})
+}

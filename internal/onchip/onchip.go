@@ -1,0 +1,94 @@
+// Package onchip models the SDA's software-managed scratchpad tier.
+// Bufferize operators allocate logical buffers here; the allocator tracks
+// live and peak occupancy so experiments can report on-chip memory
+// requirements, and enforces an optional capacity to surface schedules
+// that do not fit.
+package onchip
+
+import (
+	"fmt"
+
+	"step/internal/des"
+)
+
+// Config describes the on-chip memory tier.
+type Config struct {
+	// BandwidthBytesPerCycle is the per-memory-unit read/write bandwidth
+	// used by the Roofline operator model (§4.3). The paper's evaluation
+	// uses 64 B/cycle per unit (§5.1); the Fig. 8 validation uses 256.
+	BandwidthBytesPerCycle int64
+	// CapacityBytes bounds total scratchpad usage; 0 means unlimited
+	// (capacity is then only *reported*, matching the paper's methodology
+	// of measuring the on-chip requirement of each schedule).
+	CapacityBytes int64
+}
+
+// DefaultConfig matches §5.1.
+func DefaultConfig() Config {
+	return Config{BandwidthBytesPerCycle: 64}
+}
+
+// Scratchpad tracks on-chip allocations.
+type Scratchpad struct {
+	cfg    Config
+	live   int64
+	peak   int64
+	allocs int64
+	nextID int
+}
+
+// New creates a scratchpad.
+func New(cfg Config) *Scratchpad {
+	if cfg.BandwidthBytesPerCycle <= 0 {
+		panic(fmt.Sprintf("onchip: non-positive bandwidth %d", cfg.BandwidthBytesPerCycle))
+	}
+	return &Scratchpad{cfg: cfg}
+}
+
+// Config returns the configuration.
+func (s *Scratchpad) Config() Config { return s.cfg }
+
+// Alloc reserves bytes and returns a buffer ID. It returns an error when a
+// capacity is configured and would be exceeded.
+func (s *Scratchpad) Alloc(bytes int64) (int, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("onchip: negative allocation %d", bytes)
+	}
+	if s.cfg.CapacityBytes > 0 && s.live+bytes > s.cfg.CapacityBytes {
+		return 0, fmt.Errorf("onchip: allocation of %d bytes exceeds capacity (%d live of %d)",
+			bytes, s.live, s.cfg.CapacityBytes)
+	}
+	s.live += bytes
+	if s.live > s.peak {
+		s.peak = s.live
+	}
+	s.allocs++
+	s.nextID++
+	return s.nextID, nil
+}
+
+// Free releases bytes previously allocated.
+func (s *Scratchpad) Free(bytes int64) {
+	if bytes < 0 || bytes > s.live {
+		panic(fmt.Sprintf("onchip: bad free of %d (live %d)", bytes, s.live))
+	}
+	s.live -= bytes
+}
+
+// LiveBytes returns the currently allocated bytes.
+func (s *Scratchpad) LiveBytes() int64 { return s.live }
+
+// PeakBytes returns the high-water mark.
+func (s *Scratchpad) PeakBytes() int64 { return s.peak }
+
+// Allocs returns the number of allocations performed.
+func (s *Scratchpad) Allocs() int64 { return s.allocs }
+
+// AccessCycles returns the Roofline time to move bytes through one on-chip
+// memory unit.
+func (s *Scratchpad) AccessCycles(bytes int64) des.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	return des.Time((bytes + s.cfg.BandwidthBytesPerCycle - 1) / s.cfg.BandwidthBytesPerCycle)
+}

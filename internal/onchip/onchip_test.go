@@ -1,0 +1,73 @@
+package onchip
+
+import "testing"
+
+func TestAllocFreePeak(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Alloc(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(200); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveBytes() != 300 || s.PeakBytes() != 300 {
+		t.Fatalf("live=%d peak=%d", s.LiveBytes(), s.PeakBytes())
+	}
+	s.Free(100)
+	if s.LiveBytes() != 200 || s.PeakBytes() != 300 {
+		t.Fatalf("live=%d peak=%d after free", s.LiveBytes(), s.PeakBytes())
+	}
+	if _, err := s.Alloc(50); err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakBytes() != 300 {
+		t.Fatalf("peak moved to %d", s.PeakBytes())
+	}
+	if s.Allocs() != 3 {
+		t.Fatalf("allocs = %d", s.Allocs())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s := New(Config{BandwidthBytesPerCycle: 64, CapacityBytes: 256})
+	if _, err := s.Alloc(200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(100); err == nil {
+		t.Fatal("expected capacity error")
+	}
+	s.Free(200)
+	if _, err := s.Alloc(256); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAllocRejected(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Alloc(-1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBadFreePanics(t *testing.T) {
+	s := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Free(1)
+}
+
+func TestAccessCycles(t *testing.T) {
+	s := New(Config{BandwidthBytesPerCycle: 64})
+	if got := s.AccessCycles(0); got != 0 {
+		t.Fatalf("0 bytes = %d cycles", got)
+	}
+	if got := s.AccessCycles(64); got != 1 {
+		t.Fatalf("64 bytes = %d cycles", got)
+	}
+	if got := s.AccessCycles(65); got != 2 {
+		t.Fatalf("65 bytes = %d cycles", got)
+	}
+}

@@ -1,0 +1,322 @@
+package ops
+
+import (
+	"fmt"
+
+	"step/internal/element"
+	"step/internal/graph"
+	"step/internal/shape"
+	"step/internal/symbolic"
+	"step/internal/tile"
+)
+
+// asTile extracts a tile value.
+func asTile(v element.Value) (*tile.Tile, error) {
+	tv, ok := v.(element.TileVal)
+	if !ok {
+		return nil, fmt.Errorf("expected tile value, got %T", v)
+	}
+	return tv.T, nil
+}
+
+// asTilePair extracts a tuple of tiles.
+func asTilePair(v element.Value) (*tile.Tile, *tile.Tile, error) {
+	tp, ok := v.(element.Tuple)
+	if !ok {
+		return nil, nil, fmt.Errorf("expected tuple value, got %T", v)
+	}
+	a, err := asTile(tp.A)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := asTile(tp.B)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// MatmulFn multiplies the tuple's tiles: (A, B) → A × B.
+func MatmulFn() MapFn {
+	return MapFn{
+		Name: "matmul",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			a, b, err := asTilePair(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			if a.Cols != b.Rows {
+				return nil, 0, fmt.Errorf("matmul: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+			}
+			return element.TileVal{T: tile.MatMul(a, b)}, tile.MatMulFLOPs(a, b), nil
+		},
+		OutType: func(in graph.DType) graph.DType {
+			tt, ok := in.(graph.TupleType)
+			if !ok {
+				return in
+			}
+			at, okA := tt.A.(graph.TileType)
+			bt, okB := tt.B.(graph.TileType)
+			if !okA || !okB {
+				return in
+			}
+			return graph.TileType{Rows: at.Rows, Cols: bt.Cols}
+		},
+	}
+}
+
+// SiLUFn applies x·sigmoid(x) element-wise (2 FLOPs modeled per element).
+func SiLUFn() MapFn {
+	return MapFn{
+		Name: "silu",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: tile.SiLU(t)}, 2 * int64(t.Elems()), nil
+		},
+	}
+}
+
+// ElemMulFn multiplies the tuple's tiles element-wise (SwiGLU gating).
+func ElemMulFn() MapFn {
+	return MapFn{
+		Name: "elemmul",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			a, b, err := asTilePair(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: tile.Mul(a, b)}, int64(a.Elems()), nil
+		},
+		OutType: tupleFirstTile,
+	}
+}
+
+// RowSoftmaxFn applies a row-wise softmax (5 FLOPs modeled per element).
+func RowSoftmaxFn() MapFn {
+	return MapFn{
+		Name: "softmax",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: tile.RowSoftmax(t)}, 5 * int64(t.Elems()), nil
+		},
+	}
+}
+
+// ScaleFn multiplies all elements by a constant (1 FLOP per element).
+func ScaleFn(s float32) MapFn {
+	return MapFn{
+		Name: "scale",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: tile.Scale(t, s)}, int64(t.Elems()), nil
+		},
+	}
+}
+
+// TransposeFn transposes each tile (pure data movement).
+func TransposeFn() MapFn {
+	return MapFn{
+		Name: "transpose",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: t.Transpose()}, 0, nil
+		},
+		OutType: func(in graph.DType) graph.DType {
+			tt, ok := in.(graph.TileType)
+			if !ok {
+				return in
+			}
+			return graph.TileType{Rows: tt.Cols, Cols: tt.Rows}
+		},
+	}
+}
+
+func tupleFirstTile(in graph.DType) graph.DType {
+	if tt, ok := in.(graph.TupleType); ok {
+		return tt.A
+	}
+	return in
+}
+
+// emptyTile is the zero accumulator for retile functions.
+func emptyTile() element.Value { return element.TileVal{T: tile.New(0, 0)} }
+
+// RetileRowFn concatenates tiles row-wise into a growing accumulator
+// (packing row tiles into a larger tile, Fig. 7 "Pack to Tile").
+func RetileRowFn() AccumFn {
+	return AccumFn{
+		Name: "retile-row",
+		Init: emptyTile,
+		Update: func(state, v element.Value) (element.Value, int64, error) {
+			s, err := asTile(state)
+			if err != nil {
+				return nil, 0, err
+			}
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: tile.ConcatRows(s, t)}, 0, nil
+		},
+	}
+}
+
+// RetileColFn concatenates tiles column-wise (Fig. 7 "Pack Tile" before the
+// merge).
+func RetileColFn() AccumFn {
+	return AccumFn{
+		Name: "retile-col",
+		Init: emptyTile,
+		Update: func(state, v element.Value) (element.Value, int64, error) {
+			s, err := asTile(state)
+			if err != nil {
+				return nil, 0, err
+			}
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			return element.TileVal{T: tile.ConcatCols(s, t)}, 0, nil
+		},
+	}
+}
+
+// ElemAddFn accumulates tiles element-wise (reduction in inner-product
+// matmul and in the hierarchical tiling transform of Fig. 18).
+func ElemAddFn() AccumFn {
+	return AccumFn{
+		Name: "elemadd",
+		Init: func() element.Value { return element.TileVal{T: nil} },
+		Update: func(state, v element.Value) (element.Value, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			sv := state.(element.TileVal)
+			if sv.T == nil {
+				return element.TileVal{T: t.Clone()}, 0, nil
+			}
+			if sv.T.Rows != t.Rows || sv.T.Cols != t.Cols {
+				return nil, 0, fmt.Errorf("elemadd: shape mismatch %s vs %s", sv.T, t)
+			}
+			out := sv.T.Clone()
+			tile.AddInto(out, t)
+			return element.TileVal{T: out}, int64(t.Elems()), nil
+		},
+	}
+}
+
+// MatmulAccFn is a fused multiply-accumulate for inner-product matmul:
+// state += A × B for tuple inputs (A, B).
+func MatmulAccFn() AccumFn {
+	return AccumFn{
+		Name: "matmul-acc",
+		Init: func() element.Value { return element.TileVal{T: nil} },
+		Update: func(state, v element.Value) (element.Value, int64, error) {
+			a, b, err := asTilePair(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			prod := tile.MatMul(a, b)
+			flops := tile.MatMulFLOPs(a, b)
+			sv := state.(element.TileVal)
+			if sv.T == nil {
+				return element.TileVal{T: prod}, flops, nil
+			}
+			tile.AddInto(prod, sv.T)
+			return element.TileVal{T: prod}, flops + int64(prod.Elems()), nil
+		},
+		OutType: func(in graph.DType) graph.DType {
+			tt, ok := in.(graph.TupleType)
+			if !ok {
+				return in
+			}
+			at, okA := tt.A.(graph.TileType)
+			bt, okB := tt.B.(graph.TileType)
+			if !okA || !okB {
+				return in
+			}
+			return graph.TileType{Rows: at.Rows, Cols: bt.Cols}
+		},
+	}
+}
+
+// RetileStreamifyFn splits each tile row-wise into chunks of rowChunk rows,
+// emitted as a rank-0 fragment (Fig. 7 "Unpack Tile").
+func RetileStreamifyFn(rowChunk int) FlatMapFn {
+	return FlatMapFn{
+		Name: "retile-streamify",
+		Apply: func(v element.Value) ([]element.Element, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			parts := t.SplitRows(rowChunk)
+			out := make([]element.Element, 0, len(parts))
+			for _, p := range parts {
+				out = append(out, element.DataOf(element.TileVal{T: p}))
+			}
+			return out, 0, nil
+		},
+		OutType: func(in graph.DType) graph.DType {
+			tt, ok := in.(graph.TileType)
+			if !ok {
+				return in
+			}
+			return graph.TileType{Rows: shape.Static(rowChunk), Cols: tt.Cols}
+		},
+	}
+}
+
+// SplitColsFn splits each tile column-wise into chunks (hierarchical
+// tiling, Fig. 18).
+func SplitColsFn(colChunk int) FlatMapFn {
+	return FlatMapFn{
+		Name: "split-cols",
+		Apply: func(v element.Value) ([]element.Element, int64, error) {
+			t, err := asTile(v)
+			if err != nil {
+				return nil, 0, err
+			}
+			parts := t.SplitCols(colChunk)
+			out := make([]element.Element, 0, len(parts))
+			for _, p := range parts {
+				out = append(out, element.DataOf(element.TileVal{T: p}))
+			}
+			return out, 0, nil
+		},
+		OutType: func(in graph.DType) graph.DType {
+			tt, ok := in.(graph.TileType)
+			if !ok {
+				return in
+			}
+			return graph.TileType{Rows: tt.Rows, Cols: shape.Static(colChunk)}
+		},
+	}
+}
+
+// MatmulOpts builds the ComputeOpts for a matmul Map/Accum with the §4.2
+// on-chip equation parameters.
+func MatmulOpts(computeBW int64, inTileCols, weightTileBytes, outTileBytes symbolic.Expr, includeOut bool) ComputeOpts {
+	return ComputeOpts{
+		ComputeBW:       computeBW,
+		MemIn:           true,
+		MatMulOnchip:    true,
+		InTileCols:      inTileCols,
+		WeightTileBytes: weightTileBytes,
+		OutTileBytes:    outTileBytes,
+		IncludeOutInEq:  includeOut,
+	}
+}

@@ -1,0 +1,163 @@
+// Package ops implements every STeP operator (paper §3.2, Tables 3–7):
+// off-chip memory operators, on-chip memory operators, dynamic routing and
+// merging operators, higher-order operators, and shape operators. Each
+// operator is a dataflow block: its Run method executes as an asynchronous
+// DES process that consumes input channels and produces output channels,
+// modeling both the functional semantics and the cycle-approximate timing
+// of §4.3.
+package ops
+
+import (
+	"fmt"
+
+	"step/internal/element"
+	"step/internal/graph"
+	"step/internal/symbolic"
+)
+
+// base provides the Operator bookkeeping shared by all ops.
+type base struct {
+	name      string
+	onchip    symbolic.Expr
+	traffic   symbolic.Expr
+	computeBW int64
+}
+
+func newBase(name string) base {
+	return base{name: name, onchip: symbolic.Zero, traffic: symbolic.Zero}
+}
+
+// Name implements graph.Operator.
+func (b *base) Name() string { return b.name }
+
+// OnchipBytes implements graph.Operator.
+func (b *base) OnchipBytes() symbolic.Expr { return b.onchip }
+
+// OffchipTrafficBytes implements graph.Operator.
+func (b *base) OffchipTrafficBytes() symbolic.Expr { return b.traffic }
+
+// AllocatedComputeBW implements graph.Operator.
+func (b *base) AllocatedComputeBW() int64 { return b.computeBW }
+
+// tick models one initiation interval of the operator's hardware unit.
+func tick(ctx *graph.Ctx) { ctx.P.Advance(1) }
+
+// recvTracked receives from input i, counting elements.
+func recvTracked(ctx *graph.Ctx, i int) (element.Element, bool) {
+	e, ok := ctx.In[i].Recv(ctx.P)
+	if ok {
+		if e.IsData() {
+			ctx.Counters.DataElems++
+		} else if e.Kind == element.Stop {
+			ctx.Counters.StopTokens++
+		}
+	}
+	return e, ok
+}
+
+// subtree is the body of one rank-r tensor read from a stream: the data
+// and sub-stop elements strictly below the closing token.
+type subtree struct {
+	body []element.Element
+	// closer is the token that ended the subtree: a Stop with level >= r,
+	// or Done.
+	closer element.Element
+}
+
+// readSubtree reads one rank-r subtree from input i. For r >= 1 a subtree
+// is a maximal run of data elements and stop tokens with level < r,
+// terminated by a stop token of level >= r or by Done. For r == 0 a
+// subtree is a single data element. ok is false when the stream was
+// already exhausted (the first element read is Done and no body).
+func readSubtree(ctx *graph.Ctx, i, r int) (subtree, bool, error) {
+	var st subtree
+	if r == 0 {
+		e, ok := recvTracked(ctx, i)
+		if !ok {
+			return st, false, fmt.Errorf("input %d closed without Done token", i)
+		}
+		switch e.Kind {
+		case element.Done:
+			st.closer = e
+			return st, false, nil
+		case element.Stop:
+			return st, false, fmt.Errorf("input %d: unexpected stop %s in rank-0 stream", i, e)
+		default:
+			st.body = append(st.body, e)
+			return st, true, nil
+		}
+	}
+	for {
+		e, ok := recvTracked(ctx, i)
+		if !ok {
+			return st, false, fmt.Errorf("input %d closed without Done token", i)
+		}
+		switch e.Kind {
+		case element.Done:
+			st.closer = e
+			if len(st.body) == 0 {
+				return st, false, nil
+			}
+			return st, true, nil
+		case element.Stop:
+			if e.Level >= r {
+				st.closer = e
+				return st, true, nil
+			}
+			st.body = append(st.body, e)
+		default:
+			st.body = append(st.body, e)
+		}
+	}
+}
+
+// sendAll writes a sequence of elements to output o, one tick each.
+func sendAll(ctx *graph.Ctx, o int, es []element.Element) {
+	for _, e := range es {
+		tick(ctx)
+		ctx.Out[o].Send(ctx.P, e)
+	}
+}
+
+// stopWriter emits a stream while merging coincident stop tokens: when
+// several dimension closures coincide, only the highest-level stop token
+// is emitted (§3.1). Ops queue stops with stop() and the writer defers
+// them until the next data element (or flushes at end of stream),
+// upgrading the pending level when a higher closure follows.
+type stopWriter struct {
+	ctx     *graph.Ctx
+	out     int
+	pending int // 0 = none
+}
+
+func newStopWriter(ctx *graph.Ctx, out int) *stopWriter {
+	return &stopWriter{ctx: ctx, out: out}
+}
+
+func (w *stopWriter) data(e element.Element) {
+	w.flush()
+	tick(w.ctx)
+	w.ctx.Out[w.out].Send(w.ctx.P, e)
+}
+
+func (w *stopWriter) stop(level int) {
+	if level > w.pending {
+		w.pending = level
+	}
+}
+
+func (w *stopWriter) flush() {
+	if w.pending > 0 {
+		tick(w.ctx)
+		w.ctx.Out[w.out].Send(w.ctx.P, element.StopOf(w.pending))
+		w.pending = 0
+	}
+}
+
+// mustData asserts the element is data and returns its value.
+func mustData(op string, e element.Element) (element.Value, error) {
+	if !e.IsData() {
+		return nil, fmt.Errorf("%s: expected data element, got %s", op, e)
+	}
+	return e.Value, nil
+}

@@ -1,0 +1,44 @@
+package roofline
+
+import "testing"
+
+func TestFigure1Bars(t *testing.T) {
+	bars := Figure1()
+	if len(bars) != 12 {
+		t.Fatalf("%d bars", len(bars))
+	}
+	byKey := map[string]Entry{}
+	for _, e := range bars {
+		if e.FracOfPeak <= 0 || e.FracOfPeak > 1 {
+			t.Fatalf("fraction %f out of (0,1]", e.FracOfPeak)
+		}
+		if e.EffectiveTB() > e.Platform.PeakTB {
+			t.Fatal("effective exceeds peak")
+		}
+		byKey[e.Platform.Name+e.Workload.Model+string(rune(e.Workload.Batch))] = e
+	}
+	// SDA bars exceed the GPU bar on every workload (the figure's point).
+	for _, e := range bars {
+		if e.Platform.Name != "8xH100" {
+			continue
+		}
+		for _, p := range []string{"SN40L-8", "SN40L-16"} {
+			key := p + e.Workload.Model + string(rune(e.Workload.Batch))
+			sda, ok := byKey[key]
+			if !ok {
+				t.Fatalf("missing bar %s", key)
+			}
+			if sda.EffectiveTB() <= e.EffectiveTB() {
+				t.Fatalf("%s should beat GPU on %s", p, e.Workload.Model)
+			}
+		}
+	}
+}
+
+func TestGPUUnderHalfPeak(t *testing.T) {
+	for _, e := range Figure1() {
+		if e.Platform.Name == "8xH100" && e.FracOfPeak >= 0.5 {
+			t.Fatalf("GPU fraction %f should be under 0.5 (§2.2)", e.FracOfPeak)
+		}
+	}
+}

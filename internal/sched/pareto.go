@@ -1,0 +1,104 @@
+// Package sched provides scheduling-analysis utilities: Pareto frontiers
+// over (cycles, on-chip memory) design points and the Pareto Improvement
+// Distance metric (paper §5.2 and Appendix B.4, Eq. 2).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a design point with two minimization objectives.
+type Point struct {
+	Label  string
+	Cycles float64
+	Mem    float64
+}
+
+// Dominates reports whether p is at least as good as q on both objectives
+// and strictly better on one.
+func (p Point) Dominates(q Point) bool {
+	if p.Cycles > q.Cycles || p.Mem > q.Mem {
+		return false
+	}
+	return p.Cycles < q.Cycles || p.Mem < q.Mem
+}
+
+// ParetoFrontier returns the non-dominated subset of the points, sorted by
+// cycles ascending.
+func ParetoFrontier(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles < out[j].Cycles
+		}
+		return out[i].Mem < out[j].Mem
+	})
+	return out
+}
+
+// PID computes the Pareto Improvement Distance of point p against the
+// baseline points (Eq. 2):
+//
+//	PID(p) = min over q in frontier(baseline) of
+//	         max(cycles(q)/cycles(p), mem(q)/mem(p))
+//
+// PID > 1 means p lies strictly beyond the baseline frontier; PID == 1 on
+// the frontier; PID < 1 dominated by it.
+func PID(p Point, baseline []Point) (float64, error) {
+	if p.Cycles <= 0 || p.Mem <= 0 {
+		return 0, fmt.Errorf("sched: point %q has non-positive objectives", p.Label)
+	}
+	frontier := ParetoFrontier(baseline)
+	if len(frontier) == 0 {
+		return 0, fmt.Errorf("sched: empty baseline frontier")
+	}
+	best := math.Inf(1)
+	for _, q := range frontier {
+		worst := math.Max(q.Cycles/p.Cycles, q.Mem/p.Mem)
+		if worst < best {
+			best = worst
+		}
+	}
+	return best, nil
+}
+
+// ImprovementVsClosest reports, against the baseline frontier, the speedup
+// of p versus the baseline point with the closest memory (memory-matched),
+// and the memory saving versus the baseline point with the closest cycles
+// (performance-matched) — the green and purple arrows of Figs. 9 and 10.
+func ImprovementVsClosest(p Point, baseline []Point) (speedupMemMatched, memSavingPerfMatched float64, err error) {
+	frontier := ParetoFrontier(baseline)
+	if len(frontier) == 0 {
+		return 0, 0, fmt.Errorf("sched: empty baseline frontier")
+	}
+	memMatch := frontier[0]
+	for _, q := range frontier[1:] {
+		if math.Abs(math.Log(q.Mem/p.Mem)) < math.Abs(math.Log(memMatch.Mem/p.Mem)) {
+			memMatch = q
+		}
+	}
+	perfMatch := frontier[0]
+	for _, q := range frontier[1:] {
+		if math.Abs(math.Log(q.Cycles/p.Cycles)) < math.Abs(math.Log(perfMatch.Cycles/p.Cycles)) {
+			perfMatch = q
+		}
+	}
+	return memMatch.Cycles / p.Cycles, perfMatch.Mem / p.Mem, nil
+}

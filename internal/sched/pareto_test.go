@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Cycles: 10, Mem: 10}
+	b := Point{Cycles: 20, Mem: 20}
+	if !a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("strict domination wrong")
+	}
+	c := Point{Cycles: 10, Mem: 10}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Fatal("equal points must not dominate")
+	}
+	d := Point{Cycles: 5, Mem: 30}
+	if a.Dominates(d) || d.Dominates(a) {
+		t.Fatal("incomparable points must not dominate")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	pts := []Point{
+		{Label: "a", Cycles: 10, Mem: 40},
+		{Label: "b", Cycles: 20, Mem: 20},
+		{Label: "c", Cycles: 40, Mem: 10},
+		{Label: "dominated", Cycles: 30, Mem: 30},
+	}
+	f := ParetoFrontier(pts)
+	if len(f) != 3 {
+		t.Fatalf("frontier size %d", len(f))
+	}
+	for _, p := range f {
+		if p.Label == "dominated" {
+			t.Fatal("dominated point on frontier")
+		}
+	}
+	// Sorted by cycles.
+	if f[0].Label != "a" || f[2].Label != "c" {
+		t.Fatalf("order: %v", f)
+	}
+}
+
+func TestPIDBeyondFrontier(t *testing.T) {
+	base := []Point{{Cycles: 10, Mem: 40}, {Cycles: 40, Mem: 10}}
+	// Point dominating the first baseline point by 2x on cycles, equal mem.
+	p := Point{Cycles: 5, Mem: 40}
+	pid, err := PID(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pid-2) > 1e-9 {
+		t.Fatalf("pid = %f, want 2", pid)
+	}
+}
+
+func TestPIDOnAndBehindFrontier(t *testing.T) {
+	base := []Point{{Cycles: 10, Mem: 40}, {Cycles: 40, Mem: 10}}
+	onIt, err := PID(Point{Cycles: 10, Mem: 40}, base)
+	if err != nil || math.Abs(onIt-1) > 1e-9 {
+		t.Fatalf("pid on frontier = %f, %v", onIt, err)
+	}
+	behind, err := PID(Point{Cycles: 20, Mem: 80}, base)
+	if err != nil || behind >= 1 {
+		t.Fatalf("pid behind frontier = %f, %v", behind, err)
+	}
+}
+
+func TestPIDErrors(t *testing.T) {
+	if _, err := PID(Point{Cycles: 0, Mem: 1}, []Point{{Cycles: 1, Mem: 1}}); err == nil {
+		t.Fatal("expected non-positive objective error")
+	}
+	if _, err := PID(Point{Cycles: 1, Mem: 1}, nil); err == nil {
+		t.Fatal("expected empty baseline error")
+	}
+}
+
+func TestImprovementVsClosest(t *testing.T) {
+	base := []Point{
+		{Label: "t8", Cycles: 100, Mem: 10},
+		{Label: "t32", Cycles: 50, Mem: 40},
+	}
+	// Dynamic point: same memory as t8, faster; same cycles as t32, leaner.
+	p := Point{Cycles: 50, Mem: 10}
+	sp, ms, err := ImprovementVsClosest(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-2) > 1e-9 { // vs t8 (memory-matched): 100/50
+		t.Fatalf("speedup = %f", sp)
+	}
+	if math.Abs(ms-4) > 1e-9 { // vs t32 (perf-matched): 40/10
+		t.Fatalf("mem saving = %f", ms)
+	}
+}
+
+// Property: every input point is either on the frontier or dominated by a
+// frontier point; frontier points never dominate each other.
+func TestQuickFrontierSoundness(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{
+				Cycles: float64(raw[i]%500) + 1,
+				Mem:    float64(raw[i+1]%500) + 1,
+			})
+		}
+		fr := ParetoFrontier(pts)
+		for _, p := range pts {
+			onFrontier := false
+			coveredBy := false
+			for _, q := range fr {
+				if q == p {
+					onFrontier = true
+				}
+				if q.Dominates(p) || q == p {
+					coveredBy = true
+				}
+			}
+			if !onFrontier && !coveredBy {
+				return false
+			}
+		}
+		for i, a := range fr {
+			for j, b := range fr {
+				if i != j && a.Dominates(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PID is monotone — improving a point on both axes cannot lower
+// its PID.
+func TestQuickPIDMonotone(t *testing.T) {
+	base := []Point{{Cycles: 100, Mem: 100}, {Cycles: 200, Mem: 50}}
+	f := func(c8, m8, dc, dm uint8) bool {
+		c := float64(c8) + 1
+		m := float64(m8) + 1
+		p := Point{Cycles: c, Mem: m}
+		better := Point{Cycles: c / (1 + float64(dc%4)), Mem: m / (1 + float64(dm%4))}
+		pidP, err1 := PID(p, base)
+		pidB, err2 := PID(better, base)
+		return err1 == nil && err2 == nil && pidB >= pidP-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,401 @@
+// Package shape implements STeP's stream shape semantics (paper §3.1 and
+// Appendix B.1). A rank-N stream has a shape [D_N, …, D_1, D_0] whose
+// dimensions may be static-regular, dynamic-regular, or ragged. Ragged
+// dimensions "absorb" in products: any shape equation containing a ragged
+// dimension becomes a fresh ragged dimension.
+package shape
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"step/internal/symbolic"
+)
+
+// Kind classifies a stream dimension.
+type Kind int
+
+const (
+	// StaticRegular dimensions have a compile-time constant size.
+	StaticRegular Kind = iota
+	// DynamicRegular dimensions have a data-dependent but constant size,
+	// represented symbolically.
+	DynamicRegular
+	// Ragged dimensions take varying sizes across the stream; their extent
+	// is a fresh symbol and absorbs in shape equations.
+	Ragged
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StaticRegular:
+		return "static"
+	case DynamicRegular:
+		return "dynamic"
+	case Ragged:
+		return "ragged"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Dim is one dimension of a stream shape.
+type Dim struct {
+	Kind Kind
+	// Size is the symbolic extent. For StaticRegular it is a constant; for
+	// DynamicRegular it is an expression over data-dependent symbols; for
+	// Ragged it is the symbol naming the ragged extent.
+	Size symbolic.Expr
+}
+
+// Static returns a static-regular dimension of the given size.
+func Static(n int) Dim {
+	return Dim{Kind: StaticRegular, Size: symbolic.Const(int64(n))}
+}
+
+// Dynamic returns a dynamic-regular dimension with the given symbolic size.
+func Dynamic(size symbolic.Expr) Dim {
+	return Dim{Kind: DynamicRegular, Size: size}
+}
+
+// raggedCounter numbers freshly introduced ragged symbols (D'0, D'1, …).
+var raggedCounter atomic.Int64
+
+// FreshRagged returns a ragged dimension with a fresh symbol derived from
+// the given base name.
+func FreshRagged(base string) Dim {
+	n := raggedCounter.Add(1)
+	return Dim{Kind: Ragged, Size: symbolic.Sym(fmt.Sprintf("%s'%d", base, n))}
+}
+
+// NamedRagged returns a ragged dimension with an explicit symbol name.
+// Use it when the caller wants stable symbol names in reports.
+func NamedRagged(name string) Dim {
+	return Dim{Kind: Ragged, Size: symbolic.Sym(name)}
+}
+
+// IsStatic reports whether the dimension is static-regular and its size.
+func (d Dim) IsStatic() (int, bool) {
+	if d.Kind != StaticRegular {
+		return 0, false
+	}
+	v, ok := d.Size.IsConst()
+	return int(v), ok
+}
+
+func (d Dim) String() string {
+	switch d.Kind {
+	case StaticRegular:
+		return d.Size.String()
+	case DynamicRegular:
+		return d.Size.String()
+	default:
+		return d.Size.String() + "~" // ragged marker
+	}
+}
+
+// Shape is a stream shape [D_{n-1}, …, D_0], outermost first.
+type Shape struct {
+	Dims []Dim
+}
+
+// New builds a shape from outermost to innermost dimensions.
+func New(dims ...Dim) Shape { return Shape{Dims: dims} }
+
+// Scalar is the rank-0 shape (a stream of bare elements, no stop tokens).
+func Scalar() Shape { return Shape{} }
+
+// OfInts builds an all-static shape.
+func OfInts(sizes ...int) Shape {
+	dims := make([]Dim, len(sizes))
+	for i, s := range sizes {
+		dims[i] = Static(s)
+	}
+	return Shape{Dims: dims}
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s.Dims) }
+
+// Dim returns dimension i counted from the innermost (index 0 = innermost),
+// matching the paper's D_0 … D_N numbering.
+func (s Shape) Dim(i int) Dim {
+	return s.Dims[len(s.Dims)-1-i]
+}
+
+// Outer returns the outermost dimension.
+func (s Shape) Outer() Dim { return s.Dims[0] }
+
+// Clone returns a copy whose Dims slice is independent.
+func (s Shape) Clone() Shape {
+	out := make([]Dim, len(s.Dims))
+	copy(out, s.Dims)
+	return Shape{Dims: out}
+}
+
+// String renders the shape in the paper's [D_N, …, D_0] notation.
+func (s Shape) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		parts[i] = d.String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// IsFullyStatic reports whether all dimensions are static-regular.
+func (s Shape) IsFullyStatic() bool {
+	for _, d := range s.Dims {
+		if d.Kind != StaticRegular {
+			return false
+		}
+	}
+	return true
+}
+
+// HasDynamic reports whether any dimension is dynamic (dynamic-regular or
+// ragged with data-dependent values).
+func (s Shape) HasDynamic() bool {
+	for _, d := range s.Dims {
+		if d.Kind != StaticRegular {
+			return true
+		}
+	}
+	return false
+}
+
+// Cardinality returns the symbolic product of all dimension sizes (‖X‖ in
+// §4.2). Per the absorbing rule, if any dimension is ragged the product is
+// itself represented by a fresh ragged symbol UNLESS exact is requested by
+// CardinalityExact (used by the simulator where concrete counts are known).
+func (s Shape) Cardinality() symbolic.Expr {
+	factors := make([]symbolic.Expr, 0, len(s.Dims))
+	ragged := false
+	for _, d := range s.Dims {
+		if d.Kind == Ragged {
+			ragged = true
+		}
+		factors = append(factors, d.Size)
+	}
+	if ragged {
+		// The product involving a ragged dimension is a new ragged symbol.
+		// We keep the symbolic product form for readability: the frontend
+		// tracks such operators and defers to the simulator for concrete
+		// values (paper §4.2 "Handling data dependencies").
+		return symbolic.Mul(factors...)
+	}
+	return symbolic.Mul(factors...)
+}
+
+// Product returns the symbolic product of sizes of dims [lo, hi] counted
+// from innermost, applying ragged absorption: if any dimension in range is
+// ragged, the result is a fresh ragged dim.
+func (s Shape) Product(lo, hi int) Dim {
+	if lo < 0 || hi >= s.Rank() || lo > hi {
+		panic(fmt.Sprintf("shape: bad product range [%d,%d] for rank %d", lo, hi, s.Rank()))
+	}
+	ragged := false
+	anyDynamic := false
+	factors := make([]symbolic.Expr, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		d := s.Dim(i)
+		if d.Kind == Ragged {
+			ragged = true
+		}
+		if d.Kind != StaticRegular {
+			anyDynamic = true
+		}
+		factors = append(factors, d.Size)
+	}
+	if ragged {
+		// Absorbing property (example 1 in §3.1): result is a fresh ragged
+		// dimension rather than an explicit product.
+		return FreshRagged("D")
+	}
+	size := symbolic.Mul(factors...)
+	if anyDynamic {
+		return Dim{Kind: DynamicRegular, Size: size}
+	}
+	return Dim{Kind: StaticRegular, Size: size}
+}
+
+// Equal reports whether two shapes agree structurally: same rank, same
+// kinds, and symbolically equal sizes.
+func Equal(a, b Shape) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i].Kind != b.Dims[i].Kind {
+			return false
+		}
+		if !symbolic.Equal(a.Dims[i].Size, b.Dims[i].Size) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether a stream of shape `have` can feed a consumer
+// declaring `want`. Per §3.1, operators that accept a dimension type also
+// accept more restrictive types: static ⊂ dynamic-regular ⊂ ragged.
+func Compatible(have, want Shape) bool {
+	if have.Rank() != want.Rank() {
+		return false
+	}
+	for i := range have.Dims {
+		if !dimCompatible(have.Dims[i], want.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func dimCompatible(have, want Dim) bool {
+	switch want.Kind {
+	case Ragged:
+		return true // ragged accepts anything
+	case DynamicRegular:
+		if have.Kind == Ragged {
+			return false
+		}
+		return true
+	default: // StaticRegular: sizes must match exactly
+		if have.Kind != StaticRegular {
+			return false
+		}
+		hv, _ := have.Size.IsConst()
+		wv, _ := want.Size.IsConst()
+		return hv == wv
+	}
+}
+
+// --- Shape-operator rules (Tables 3–7) ---
+
+// Flatten merges dims [min,max] (innermost-indexed, inclusive) into one,
+// applying ragged absorption.
+func (s Shape) Flatten(min, max int) (Shape, error) {
+	if min < 0 || max >= s.Rank() || min >= max {
+		return Shape{}, fmt.Errorf("shape: flatten range [%d,%d] invalid for rank %d", min, max, s.Rank())
+	}
+	merged := s.Product(min, max)
+	out := make([]Dim, 0, s.Rank()-(max-min))
+	// Dims above max (outermost side).
+	for i := 0; i < s.Rank()-1-max; i++ {
+		out = append(out, s.Dims[i])
+	}
+	out = append(out, merged)
+	// Dims below min.
+	for i := min - 1; i >= 0; i-- {
+		out = append(out, s.Dim(i))
+	}
+	return Shape{Dims: out}, nil
+}
+
+// Reshape splits dimension b (innermost-indexed) into chunks of chunkSize,
+// producing [… ,⌈D_b/S⌉, S, …]. When b refers to a dimension above the
+// innermost, the dimension must be static and divisible; when it is the
+// innermost, any kind is allowed and padding is implied (handled by the
+// operator at runtime).
+func (s Shape) Reshape(b, chunkSize int) (Shape, error) {
+	if b < 0 || b >= s.Rank() {
+		return Shape{}, fmt.Errorf("shape: reshape rank %d out of range for rank %d", b, s.Rank())
+	}
+	if chunkSize <= 0 {
+		return Shape{}, fmt.Errorf("shape: reshape chunk size %d must be positive", chunkSize)
+	}
+	d := s.Dim(b)
+	if b > 0 {
+		// Non-innermost split: must be static and divisible (Appendix B.1).
+		sz, ok := d.IsStatic()
+		if !ok {
+			return Shape{}, fmt.Errorf("shape: reshape of non-innermost dim requires static dim, got %s", d)
+		}
+		if sz%chunkSize != 0 {
+			return Shape{}, fmt.Errorf("shape: reshape dim %d not divisible by chunk %d", sz, chunkSize)
+		}
+	}
+	outer := Dim{Kind: d.Kind, Size: symbolic.CeilDiv(d.Size, symbolic.Const(int64(chunkSize)))}
+	if d.Kind == Ragged {
+		outer = FreshRagged("D")
+	}
+	inner := Static(chunkSize)
+	out := make([]Dim, 0, s.Rank()+1)
+	for i := s.Rank() - 1; i > b; i-- {
+		out = append(out, s.Dim(i))
+	}
+	out = append(out, outer, inner)
+	for i := b - 1; i >= 0; i-- {
+		out = append(out, s.Dim(i))
+	}
+	return Shape{Dims: out}, nil
+}
+
+// Promote adds a new outermost dimension of extent 1 (or 0 for an empty
+// stream; the symbolic form is conservatively 1-or-0, which we model as a
+// dynamic-regular dim when the outer dim is dynamic, else static 1).
+func (s Shape) Promote() Shape {
+	out := make([]Dim, 0, s.Rank()+1)
+	newDim := Static(1)
+	if s.Rank() > 0 && s.Outer().Kind != StaticRegular {
+		// (1 if D_a > 0 else 0): data-dependent constant.
+		newDim = Dynamic(symbolic.Sym("ind(" + s.Outer().Size.String() + ">0)"))
+	}
+	out = append(out, newDim)
+	out = append(out, s.Dims...)
+	return Shape{Dims: out}
+}
+
+// Expand replaces the inner b dims (which must all be extent-1) with the
+// reference stream's corresponding dims; the output shape equals the
+// reference shape.
+func (s Shape) Expand(ref Shape, b int) (Shape, error) {
+	if s.Rank() != ref.Rank() {
+		return Shape{}, fmt.Errorf("shape: expand rank mismatch %d vs %d", s.Rank(), ref.Rank())
+	}
+	if b < 0 || b > s.Rank() {
+		return Shape{}, fmt.Errorf("shape: expand rank %d out of range", b)
+	}
+	for i := 0; i < b; i++ {
+		if sz, ok := s.Dim(i).IsStatic(); !ok || sz != 1 {
+			return Shape{}, fmt.Errorf("shape: expand input dim %d must be static 1, got %s", i, s.Dim(i))
+		}
+	}
+	// Outer dims (above b) must match the reference.
+	for i := b; i < s.Rank(); i++ {
+		if !dimCompatible(s.Dim(i), ref.Dim(i)) && !dimCompatible(ref.Dim(i), s.Dim(i)) {
+			return Shape{}, fmt.Errorf("shape: expand outer dim %d mismatch: %s vs %s", i, s.Dim(i), ref.Dim(i))
+		}
+	}
+	return ref.Clone(), nil
+}
+
+// Drop returns the shape with the innermost b dims removed (used by Accum
+// and Bufferize, which consume the inner dims).
+func (s Shape) Drop(b int) (Shape, error) {
+	if b < 0 || b > s.Rank() {
+		return Shape{}, fmt.Errorf("shape: drop %d out of range for rank %d", b, s.Rank())
+	}
+	out := make([]Dim, s.Rank()-b)
+	copy(out, s.Dims[:s.Rank()-b])
+	return Shape{Dims: out}, nil
+}
+
+// Inner returns the innermost b dims as a shape (the buffer shape for
+// Bufferize).
+func (s Shape) Inner(b int) (Shape, error) {
+	if b < 0 || b > s.Rank() {
+		return Shape{}, fmt.Errorf("shape: inner %d out of range for rank %d", b, s.Rank())
+	}
+	out := make([]Dim, b)
+	copy(out, s.Dims[s.Rank()-b:])
+	return Shape{Dims: out}, nil
+}
+
+// Concat returns the shape [outer…, inner…].
+func Concat(outer, inner Shape) Shape {
+	out := make([]Dim, 0, outer.Rank()+inner.Rank())
+	out = append(out, outer.Dims...)
+	out = append(out, inner.Dims...)
+	return Shape{Dims: out}
+}

@@ -1,0 +1,382 @@
+// Package symbolic implements the small integer symbolic-expression system
+// that underpins STeP's shape semantics and performance-metric equations
+// (paper §4.2). It plays the role SymPy plays in the reference artifact,
+// restricted to what STeP actually needs: non-negative integer expressions
+// built from constants, symbols, sums, products, ceiling division, and max,
+// with substitution, evaluation, and light algebraic simplification.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an immutable symbolic integer expression. All constructors
+// simplify eagerly, so structurally equal expressions compare equal with
+// Equal for the common cases exercised by shape algebra.
+type Expr interface {
+	// Eval evaluates the expression under the given symbol bindings.
+	// It returns an error if a symbol is unbound.
+	Eval(env Env) (int64, error)
+	// Subst replaces symbols with expressions and re-simplifies.
+	Subst(bind map[string]Expr) Expr
+	// Symbols appends the free symbols of the expression to dst.
+	Symbols(dst map[string]struct{})
+	// IsConst reports whether the expression is a constant, and its value.
+	IsConst() (int64, bool)
+	// String renders the expression in a human-readable form.
+	String() string
+}
+
+// Env binds symbol names to concrete values for Eval.
+type Env map[string]int64
+
+type constExpr int64
+
+type symExpr string
+
+type addExpr struct{ terms []Expr }
+
+type mulExpr struct{ factors []Expr }
+
+// ceilDivExpr is ceil(num/den) with den a positive constant or symbol.
+type ceilDivExpr struct{ num, den Expr }
+
+type maxExpr struct{ args []Expr }
+
+// Const returns a constant expression.
+func Const(v int64) Expr { return constExpr(v) }
+
+// Sym returns a symbol expression with the given name.
+func Sym(name string) Expr { return symExpr(name) }
+
+// Zero and One are shared constants.
+var (
+	Zero = Const(0)
+	One  = Const(1)
+)
+
+func (c constExpr) Eval(Env) (int64, error)    { return int64(c), nil }
+func (c constExpr) Subst(map[string]Expr) Expr { return c }
+func (c constExpr) Symbols(map[string]struct{}) {
+}
+func (c constExpr) IsConst() (int64, bool) { return int64(c), true }
+func (c constExpr) String() string         { return fmt.Sprintf("%d", int64(c)) }
+
+func (s symExpr) Eval(env Env) (int64, error) {
+	v, ok := env[string(s)]
+	if !ok {
+		return 0, fmt.Errorf("symbolic: unbound symbol %q", string(s))
+	}
+	return v, nil
+}
+
+func (s symExpr) Subst(bind map[string]Expr) Expr {
+	if e, ok := bind[string(s)]; ok {
+		return e
+	}
+	return s
+}
+
+func (s symExpr) Symbols(dst map[string]struct{}) { dst[string(s)] = struct{}{} }
+func (s symExpr) IsConst() (int64, bool)          { return 0, false }
+func (s symExpr) String() string                  { return string(s) }
+
+// Add returns the simplified sum of the arguments.
+func Add(args ...Expr) Expr {
+	var terms []Expr
+	var c int64
+	for _, a := range args {
+		switch t := a.(type) {
+		case constExpr:
+			c += int64(t)
+		case addExpr:
+			for _, inner := range t.terms {
+				if v, ok := inner.IsConst(); ok {
+					c += v
+				} else {
+					terms = append(terms, inner)
+				}
+			}
+		default:
+			terms = append(terms, a)
+		}
+	}
+	if c != 0 || len(terms) == 0 {
+		terms = append(terms, constExpr(c))
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	sortExprs(terms)
+	return addExpr{terms: terms}
+}
+
+// Mul returns the simplified product of the arguments.
+func Mul(args ...Expr) Expr {
+	var factors []Expr
+	var c int64 = 1
+	for _, a := range args {
+		switch t := a.(type) {
+		case constExpr:
+			c *= int64(t)
+		case mulExpr:
+			for _, inner := range t.factors {
+				if v, ok := inner.IsConst(); ok {
+					c *= v
+				} else {
+					factors = append(factors, inner)
+				}
+			}
+		default:
+			factors = append(factors, a)
+		}
+	}
+	if c == 0 {
+		return Zero
+	}
+	if c != 1 || len(factors) == 0 {
+		factors = append(factors, constExpr(c))
+	}
+	if len(factors) == 1 {
+		return factors[0]
+	}
+	sortExprs(factors)
+	return mulExpr{factors: factors}
+}
+
+// CeilDiv returns ceil(num/den). den must be non-zero when constant.
+func CeilDiv(num, den Expr) Expr {
+	if dv, ok := den.IsConst(); ok {
+		if dv == 1 {
+			return num
+		}
+		if nv, ok2 := num.IsConst(); ok2 && dv > 0 {
+			return Const((nv + dv - 1) / dv)
+		}
+	}
+	return ceilDivExpr{num: num, den: den}
+}
+
+// Max returns the simplified maximum of the arguments.
+func Max(args ...Expr) Expr {
+	var rest []Expr
+	haveConst := false
+	var c int64
+	for _, a := range args {
+		switch t := a.(type) {
+		case constExpr:
+			if !haveConst || int64(t) > c {
+				c = int64(t)
+			}
+			haveConst = true
+		case maxExpr:
+			rest = append(rest, t.args...)
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if haveConst {
+		rest = append(rest, constExpr(c))
+	}
+	if len(rest) == 1 {
+		return rest[0]
+	}
+	sortExprs(rest)
+	// Deduplicate identical args.
+	out := rest[:0]
+	for i, a := range rest {
+		if i == 0 || a.String() != rest[i-1].String() {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return maxExpr{args: out}
+}
+
+func (a addExpr) Eval(env Env) (int64, error) {
+	var sum int64
+	for _, t := range a.terms {
+		v, err := t.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+func (a addExpr) Subst(bind map[string]Expr) Expr {
+	out := make([]Expr, len(a.terms))
+	for i, t := range a.terms {
+		out[i] = t.Subst(bind)
+	}
+	return Add(out...)
+}
+
+func (a addExpr) Symbols(dst map[string]struct{}) {
+	for _, t := range a.terms {
+		t.Symbols(dst)
+	}
+}
+
+func (a addExpr) IsConst() (int64, bool) { return 0, false }
+
+func (a addExpr) String() string {
+	parts := make([]string, len(a.terms))
+	for i, t := range a.terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+func (m mulExpr) Eval(env Env) (int64, error) {
+	var prod int64 = 1
+	for _, f := range m.factors {
+		v, err := f.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		prod *= v
+	}
+	return prod, nil
+}
+
+func (m mulExpr) Subst(bind map[string]Expr) Expr {
+	out := make([]Expr, len(m.factors))
+	for i, f := range m.factors {
+		out[i] = f.Subst(bind)
+	}
+	return Mul(out...)
+}
+
+func (m mulExpr) Symbols(dst map[string]struct{}) {
+	for _, f := range m.factors {
+		f.Symbols(dst)
+	}
+}
+
+func (m mulExpr) IsConst() (int64, bool) { return 0, false }
+
+func (m mulExpr) String() string {
+	parts := make([]string, len(m.factors))
+	for i, f := range m.factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "*")
+}
+
+func (d ceilDivExpr) Eval(env Env) (int64, error) {
+	n, err := d.num.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	den, err := d.den.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if den <= 0 {
+		return 0, fmt.Errorf("symbolic: ceildiv by non-positive %d", den)
+	}
+	return (n + den - 1) / den, nil
+}
+
+func (d ceilDivExpr) Subst(bind map[string]Expr) Expr {
+	return CeilDiv(d.num.Subst(bind), d.den.Subst(bind))
+}
+
+func (d ceilDivExpr) Symbols(dst map[string]struct{}) {
+	d.num.Symbols(dst)
+	d.den.Symbols(dst)
+}
+
+func (d ceilDivExpr) IsConst() (int64, bool) { return 0, false }
+
+func (d ceilDivExpr) String() string {
+	return fmt.Sprintf("ceil(%s/%s)", d.num, d.den)
+}
+
+func (m maxExpr) Eval(env Env) (int64, error) {
+	best := int64(0)
+	for i, a := range m.args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+func (m maxExpr) Subst(bind map[string]Expr) Expr {
+	out := make([]Expr, len(m.args))
+	for i, a := range m.args {
+		out[i] = a.Subst(bind)
+	}
+	return Max(out...)
+}
+
+func (m maxExpr) Symbols(dst map[string]struct{}) {
+	for _, a := range m.args {
+		a.Symbols(dst)
+	}
+}
+
+func (m maxExpr) IsConst() (int64, bool) { return 0, false }
+
+func (m maxExpr) String() string {
+	parts := make([]string, len(m.args))
+	for i, a := range m.args {
+		parts[i] = a.String()
+	}
+	return "max(" + strings.Join(parts, ", ") + ")"
+}
+
+// Equal reports whether two expressions are structurally equal after
+// simplification. It is sound (true implies semantic equality) but not
+// complete.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// FreeSymbols returns the sorted free symbols of the expression.
+func FreeSymbols(e Expr) []string {
+	set := make(map[string]struct{})
+	e.Symbols(set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustEval evaluates the expression and panics on unbound symbols. It is
+// intended for contexts where the caller has already verified closedness.
+func MustEval(e Expr, env Env) int64 {
+	v, err := e.Eval(env)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func sortExprs(es []Expr) {
+	sort.Slice(es, func(i, j int) bool {
+		_, ci := es[i].IsConst()
+		_, cj := es[j].IsConst()
+		if ci != cj {
+			// Constants sort last for readable "(x + 3)" forms.
+			return !ci
+		}
+		return es[i].String() < es[j].String()
+	})
+}

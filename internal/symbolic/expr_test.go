@@ -1,0 +1,198 @@
+package symbolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstEval(t *testing.T) {
+	v, err := Const(42).Eval(nil)
+	if err != nil || v != 42 {
+		t.Fatalf("Const(42).Eval = %d, %v", v, err)
+	}
+}
+
+func TestSymEval(t *testing.T) {
+	e := Sym("D0")
+	if _, err := e.Eval(Env{}); err == nil {
+		t.Fatal("expected error for unbound symbol")
+	}
+	v, err := e.Eval(Env{"D0": 7})
+	if err != nil || v != 7 {
+		t.Fatalf("Sym eval = %d, %v", v, err)
+	}
+}
+
+func TestAddSimplification(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Add(Const(1), Const(2)), "3"},
+		{Add(Sym("x"), Const(0)), "x"},
+		{Add(), "0"},
+		{Add(Sym("x"), Sym("y"), Const(3)), "(x + y + 3)"},
+		{Add(Add(Sym("x"), Const(1)), Const(2)), "(x + 3)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMulSimplification(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Mul(Const(3), Const(4)), "12"},
+		{Mul(Sym("x"), Const(1)), "x"},
+		{Mul(Sym("x"), Const(0)), "0"},
+		{Mul(), "1"},
+		{Mul(Sym("x"), Const(2), Sym("y")), "x*y*2"},
+		{Mul(Mul(Sym("x"), Const(2)), Const(3)), "x*6"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if got := CeilDiv(Const(10), Const(4)).String(); got != "3" {
+		t.Errorf("ceil(10/4) = %s, want 3", got)
+	}
+	if got := CeilDiv(Sym("D"), Const(1)).String(); got != "D" {
+		t.Errorf("ceil(D/1) = %s, want D", got)
+	}
+	e := CeilDiv(Sym("D"), Const(4))
+	v, err := e.Eval(Env{"D": 10})
+	if err != nil || v != 3 {
+		t.Fatalf("ceil(D/4)|D=10 = %d, %v", v, err)
+	}
+	if _, err := CeilDiv(Sym("D"), Sym("z")).Eval(Env{"D": 1, "z": 0}); err == nil {
+		t.Fatal("expected error for zero denominator")
+	}
+}
+
+func TestMaxSimplification(t *testing.T) {
+	if got := Max(Const(3), Const(9)).String(); got != "9" {
+		t.Errorf("max const = %s", got)
+	}
+	if got := Max(Sym("x"), Sym("x")).String(); got != "x" {
+		t.Errorf("max dedup = %s", got)
+	}
+	e := Max(Sym("x"), Const(5))
+	v, err := e.Eval(Env{"x": 2})
+	if err != nil || v != 5 {
+		t.Fatalf("max eval = %d, %v", v, err)
+	}
+	v, err = e.Eval(Env{"x": 11})
+	if err != nil || v != 11 {
+		t.Fatalf("max eval = %d, %v", v, err)
+	}
+}
+
+func TestSubst(t *testing.T) {
+	// ceil((x+y)/4) with x=6, y symbolically replaced by 2*z.
+	e := CeilDiv(Add(Sym("x"), Sym("y")), Const(4))
+	s := e.Subst(map[string]Expr{"x": Const(6), "y": Mul(Const(2), Sym("z"))})
+	v, err := s.Eval(Env{"z": 1})
+	if err != nil || v != 2 {
+		t.Fatalf("subst eval = %d, %v", v, err)
+	}
+	// Full substitution yields a constant.
+	s2 := e.Subst(map[string]Expr{"x": Const(6), "y": Const(2)})
+	if c, ok := s2.IsConst(); !ok || c != 2 {
+		t.Fatalf("expected const 2, got %v", s2)
+	}
+}
+
+func TestFreeSymbols(t *testing.T) {
+	e := Add(Mul(Sym("b"), Sym("a")), CeilDiv(Sym("c"), Const(2)))
+	got := FreeSymbols(e)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("symbols = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("symbols = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Add(Sym("x"), Sym("y"))
+	b := Add(Sym("y"), Sym("x"))
+	if !Equal(a, b) {
+		t.Error("commutative add should be Equal")
+	}
+	if Equal(a, Add(Sym("x"), Sym("z"))) {
+		t.Error("distinct expressions reported Equal")
+	}
+	if !Equal(Mul(Sym("x"), Sym("y")), Mul(Sym("y"), Sym("x"))) {
+		t.Error("commutative mul should be Equal")
+	}
+}
+
+func TestMustEvalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbound symbol")
+		}
+	}()
+	MustEval(Sym("q"), Env{})
+}
+
+// Property: Add and Mul agree with integer arithmetic under evaluation.
+func TestQuickAddMulAgree(t *testing.T) {
+	f := func(x, y, z int16) bool {
+		env := Env{"x": int64(x), "y": int64(y), "z": int64(z)}
+		sum := Add(Sym("x"), Sym("y"), Sym("z"))
+		prod := Mul(Sym("x"), Sym("y"))
+		sv, err1 := sum.Eval(env)
+		pv, err2 := prod.Eval(env)
+		return err1 == nil && err2 == nil &&
+			sv == int64(x)+int64(y)+int64(z) && pv == int64(x)*int64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: substitution then evaluation equals evaluation with extended env.
+func TestQuickSubstEvalCommute(t *testing.T) {
+	f := func(x, y uint8) bool {
+		e := CeilDiv(Add(Sym("x"), Const(3)), Const(4))
+		full := Mul(e, Sym("y"))
+		direct, err := full.Eval(Env{"x": int64(x), "y": int64(y)})
+		if err != nil {
+			return false
+		}
+		substd := full.Subst(map[string]Expr{"x": Const(int64(x))})
+		via, err := substd.Eval(Env{"y": int64(y)})
+		return err == nil && direct == via
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Max is idempotent, commutative, and bounds its arguments.
+func TestQuickMaxProperties(t *testing.T) {
+	f := func(a, b int16) bool {
+		env := Env{"a": int64(a), "b": int64(b)}
+		m1, err1 := Max(Sym("a"), Sym("b")).Eval(env)
+		m2, err2 := Max(Sym("b"), Sym("a")).Eval(env)
+		if err1 != nil || err2 != nil || m1 != m2 {
+			return false
+		}
+		return m1 >= int64(a) && m1 >= int64(b) && (m1 == int64(a) || m1 == int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

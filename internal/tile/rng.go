@@ -1,0 +1,25 @@
+package tile
+
+// splitmix64 is a tiny deterministic PRNG used to fill test/workload tiles
+// without importing math/rand, keeping tile data reproducible across runs
+// and platforms.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Random returns a rows×cols tile with deterministic pseudo-random values
+// in [-1, 1) derived from seed.
+func Random(rows, cols int, seed uint64) *Tile {
+	t := New(rows, cols)
+	s := splitmix64(seed)
+	for i := range t.Data {
+		t.Data[i] = float32(int64(s.next()>>11))/float32(1<<52) - 1
+	}
+	return t
+}

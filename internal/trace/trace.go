@@ -1,0 +1,263 @@
+// Package trace generates the synthetic workload traces that stand in for
+// the paper's proprietary datasets: expert-routing decisions (the paper
+// runs Qwen3-30B-A3B and Mixtral-8x7B over the HH-RLHF serving trace) and
+// per-request KV-cache lengths (sampled from the AzureLLMInference
+// dataset). The experiments consume only (a) per-token top-k expert
+// assignments with realistic imbalance and (b) per-request KV lengths with
+// a controlled variance class, so seeded samplers with matching first- and
+// second-moment behaviour preserve the evaluation's shape.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// rng is a splitmix64 PRNG: tiny, fast, and identical across platforms.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(uint64(1)<<53)
+}
+
+// normal draws a standard normal via Box–Muller.
+func (r *rng) normal() float64 {
+	u1 := r.float()
+	for u1 == 0 {
+		u1 = r.float()
+	}
+	u2 := r.float()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpertRouting holds per-token top-k expert assignments.
+type ExpertRouting struct {
+	NumExperts int
+	TopK       int
+	// Assignments[token] lists the token's experts, strictly increasing.
+	Assignments [][]int
+}
+
+// Counts returns tokens routed to each expert.
+func (e ExpertRouting) Counts() []int {
+	out := make([]int, e.NumExperts)
+	for _, as := range e.Assignments {
+		for _, a := range as {
+			out[a]++
+		}
+	}
+	return out
+}
+
+// BinCountStd returns the standard deviation of the expert bin counts, the
+// statistic the paper uses to pick representative routing traces (App B.3).
+func (e ExpertRouting) BinCountStd() float64 {
+	counts := e.Counts()
+	var mean float64
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	var v float64
+	for _, c := range counts {
+		d := float64(c) - mean
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(counts)))
+}
+
+// Skew classifies expert-popularity imbalance.
+type Skew int
+
+const (
+	// SkewUniform routes tokens to experts near-uniformly.
+	SkewUniform Skew = iota
+	// SkewModerate applies a Zipf-like popularity with exponent ~0.7,
+	// resembling measured MoE routing histograms.
+	SkewModerate
+	// SkewHeavy concentrates most tokens on a few experts.
+	SkewHeavy
+)
+
+func (s Skew) exponent() float64 {
+	switch s {
+	case SkewUniform:
+		return 0.05
+	case SkewModerate:
+		return 0.7
+	default:
+		return 1.3
+	}
+}
+
+func (s Skew) String() string {
+	switch s {
+	case SkewUniform:
+		return "uniform"
+	case SkewModerate:
+		return "moderate"
+	default:
+		return "heavy"
+	}
+}
+
+// SampleExpertRouting draws top-k expert assignments for `tokens` tokens
+// over `experts` experts with Zipf-skewed popularity. The permutation of
+// expert popularity is seed-dependent so different layers concentrate on
+// different experts, as in real traces.
+func SampleExpertRouting(tokens, experts, topK int, skew Skew, seed uint64) (ExpertRouting, error) {
+	if topK > experts {
+		return ExpertRouting{}, fmt.Errorf("trace: topK %d > experts %d", topK, experts)
+	}
+	if tokens < 0 || experts <= 0 || topK <= 0 {
+		return ExpertRouting{}, fmt.Errorf("trace: bad routing params tokens=%d experts=%d topK=%d", tokens, experts, topK)
+	}
+	r := rng(seed*0x9e3779b97f4a7c15 + 0xabcdef)
+	// Zipf weights over a seed-shuffled expert order.
+	perm := make([]int, experts)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := experts - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	weights := make([]float64, experts)
+	var total float64
+	exp := skew.exponent()
+	for rank, e := range perm {
+		weights[e] = 1 / math.Pow(float64(rank+1), exp)
+		total += weights[e]
+	}
+	out := ExpertRouting{NumExperts: experts, TopK: topK, Assignments: make([][]int, tokens)}
+	for t := 0; t < tokens; t++ {
+		chosen := make(map[int]bool, topK)
+		picks := make([]int, 0, topK)
+		for len(picks) < topK {
+			// Weighted sample without replacement.
+			x := r.float() * total
+			var acc float64
+			pick := experts - 1
+			for e := 0; e < experts; e++ {
+				if chosen[e] {
+					continue
+				}
+				acc += weights[e]
+				if x <= acc {
+					pick = e
+					break
+				}
+			}
+			if chosen[pick] {
+				// All remaining weight exhausted; take the first free.
+				for e := 0; e < experts; e++ {
+					if !chosen[e] {
+						pick = e
+						break
+					}
+				}
+			}
+			chosen[pick] = true
+			picks = append(picks, pick)
+			total -= weights[pick]
+		}
+		// Restore total for the next token.
+		for _, p := range picks {
+			total += weights[p]
+		}
+		sort.Ints(picks)
+		out.Assignments[t] = picks
+	}
+	return out, nil
+}
+
+// VarianceClass buckets KV-length variability the way the paper selects
+// batches (App. B.3): lowest-10%, median, and highest-10% σ.
+type VarianceClass int
+
+const (
+	// VarLow draws near-equal KV lengths.
+	VarLow VarianceClass = iota
+	// VarMed draws lengths with the trace-median dispersion.
+	VarMed
+	// VarHigh draws heavy-tailed lengths.
+	VarHigh
+)
+
+func (v VarianceClass) String() string {
+	switch v {
+	case VarLow:
+		return "low"
+	case VarMed:
+		return "med"
+	default:
+		return "high"
+	}
+}
+
+// sigma is the log-normal shape parameter per class. The AzureLLMInference
+// prompt-length distribution is approximately log-normal; the classes
+// correspond to batches at the bottom decile, median, and top decile of
+// per-batch σ.
+func (v VarianceClass) sigma() float64 {
+	switch v {
+	case VarLow:
+		return 0.1
+	case VarMed:
+		return 0.6
+	default:
+		return 1.2
+	}
+}
+
+// SampleKVLengths draws `batch` per-request KV-cache lengths with the
+// given mean and variance class, clamped to [minLen, maxLen].
+func SampleKVLengths(batch int, mean float64, class VarianceClass, seed uint64) []int {
+	const (
+		minLen = 16
+		maxLen = 64 * 1024
+	)
+	r := rng(seed*0x51aff00d + 17)
+	sig := class.sigma()
+	// Choose mu so the log-normal mean equals the requested mean.
+	mu := math.Log(mean) - sig*sig/2
+	out := make([]int, batch)
+	for i := range out {
+		l := math.Exp(mu + sig*r.normal())
+		if l < minLen {
+			l = minLen
+		}
+		if l > maxLen {
+			l = maxLen
+		}
+		out[i] = int(l)
+	}
+	return out
+}
+
+// Std returns the standard deviation of the lengths.
+func Std(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoutingBasics(t *testing.T) {
+	r, err := SampleExpertRouting(100, 8, 2, SkewModerate, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Assignments) != 100 {
+		t.Fatalf("%d assignments", len(r.Assignments))
+	}
+	total := 0
+	for _, c := range r.Counts() {
+		total += c
+	}
+	if total != 200 {
+		t.Fatalf("total routed = %d, want 200", total)
+	}
+	for _, as := range r.Assignments {
+		if len(as) != 2 {
+			t.Fatalf("top-k = %d", len(as))
+		}
+		if as[0] == as[1] {
+			t.Fatal("duplicate expert in top-k")
+		}
+		if as[0] > as[1] {
+			t.Fatal("experts not sorted")
+		}
+	}
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	a, _ := SampleExpertRouting(50, 16, 4, SkewHeavy, 7)
+	b, _ := SampleExpertRouting(50, 16, 4, SkewHeavy, 7)
+	for i := range a.Assignments {
+		for j := range a.Assignments[i] {
+			if a.Assignments[i][j] != b.Assignments[i][j] {
+				t.Fatal("routing not deterministic")
+			}
+		}
+	}
+	c, _ := SampleExpertRouting(50, 16, 4, SkewHeavy, 8)
+	same := true
+	for i := range a.Assignments {
+		for j := range a.Assignments[i] {
+			if a.Assignments[i][j] != c.Assignments[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical routing")
+	}
+}
+
+func TestSkewOrdersImbalance(t *testing.T) {
+	u, _ := SampleExpertRouting(2000, 32, 2, SkewUniform, 1)
+	m, _ := SampleExpertRouting(2000, 32, 2, SkewModerate, 1)
+	h, _ := SampleExpertRouting(2000, 32, 2, SkewHeavy, 1)
+	if !(u.BinCountStd() < m.BinCountStd() && m.BinCountStd() < h.BinCountStd()) {
+		t.Fatalf("std order violated: %f %f %f", u.BinCountStd(), m.BinCountStd(), h.BinCountStd())
+	}
+}
+
+func TestRoutingRejectsBadParams(t *testing.T) {
+	if _, err := SampleExpertRouting(10, 4, 5, SkewUniform, 1); err == nil {
+		t.Fatal("expected topK > experts error")
+	}
+	if _, err := SampleExpertRouting(-1, 4, 2, SkewUniform, 1); err == nil {
+		t.Fatal("expected negative tokens error")
+	}
+}
+
+func TestKVLengthClasses(t *testing.T) {
+	lo := SampleKVLengths(256, 2048, VarLow, 3)
+	md := SampleKVLengths(256, 2048, VarMed, 3)
+	hi := SampleKVLengths(256, 2048, VarHigh, 3)
+	if !(Std(lo) < Std(md) && Std(md) < Std(hi)) {
+		t.Fatalf("variance order violated: %f %f %f", Std(lo), Std(md), Std(hi))
+	}
+	for _, l := range hi {
+		if l < 16 || l > 64*1024 {
+			t.Fatalf("length %d out of clamp range", l)
+		}
+	}
+}
+
+func TestKVLengthMeanRoughlyMatches(t *testing.T) {
+	xs := SampleKVLengths(4096, 1024, VarMed, 11)
+	var mean float64
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	if mean < 700 || mean > 1400 {
+		t.Fatalf("mean = %f, want ~1024", mean)
+	}
+}
+
+func TestStdEmpty(t *testing.T) {
+	if Std(nil) != 0 {
+		t.Fatal("std of empty should be 0")
+	}
+}
+
+// Property: every assignment is within range and sorted, for arbitrary
+// parameters.
+func TestQuickRoutingWellFormed(t *testing.T) {
+	f := func(tok, ex, k, seed uint8) bool {
+		tokens := int(tok % 64)
+		experts := int(ex%31) + 1
+		topK := int(k%uint8(experts)) + 1
+		r, err := SampleExpertRouting(tokens, experts, topK, SkewModerate, uint64(seed))
+		if err != nil {
+			return false
+		}
+		for _, as := range r.Assignments {
+			if len(as) != topK {
+				return false
+			}
+			for i, a := range as {
+				if a < 0 || a >= experts {
+					return false
+				}
+				if i > 0 && as[i-1] >= a {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

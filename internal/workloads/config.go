@@ -1,0 +1,85 @@
+// Package workloads builds the STeP graphs evaluated in the paper:
+// a SwiGLU layer (Fig. 8 validation), Mixture-of-Experts layers with
+// static/dynamic tiling and configuration time-multiplexing (Figs. 9–13),
+// decode attention under three parallelization strategies (Figs. 14, 15,
+// 21), and end-to-end decoder models (Fig. 17).
+package workloads
+
+import "fmt"
+
+// ModelConfig captures the architecture parameters the evaluation uses
+// (§5.1: Qwen3-30B-A3B and Mixtral-8x7B).
+type ModelConfig struct {
+	Name       string
+	Hidden     int // model (hidden) dimension
+	Inter      int // MoE expert intermediate dimension
+	NumExperts int
+	TopK       int
+	QHeads     int
+	KVHeads    int
+	HeadDim    int
+	Layers     int
+	// WeightStrip is the column width used to tile expert weight matrices
+	// along the intermediate dimension; it must divide Inter.
+	WeightStrip int
+}
+
+// Qwen3Config is Qwen3-30B-A3B: 128 experts with 8 active, shared with
+// many recent top open-source MoE architectures.
+func Qwen3Config() ModelConfig {
+	return ModelConfig{
+		Name:        "Qwen3-30B-A3B",
+		Hidden:      2048,
+		Inter:       768,
+		NumExperts:  128,
+		TopK:        8,
+		QHeads:      32,
+		KVHeads:     4,
+		HeadDim:     128,
+		Layers:      48,
+		WeightStrip: 256,
+	}
+}
+
+// MixtralConfig is Mixtral-8x7B: 8 large experts with 2 active.
+func MixtralConfig() ModelConfig {
+	return ModelConfig{
+		Name:        "Mixtral-8x7B",
+		Hidden:      4096,
+		Inter:       14336,
+		NumExperts:  8,
+		TopK:        2,
+		QHeads:      32,
+		KVHeads:     8,
+		HeadDim:     128,
+		Layers:      32,
+		WeightStrip: 512,
+	}
+}
+
+// KVBytesPerToken returns the per-token KV-cache footprint in bytes
+// (keys + values across KV heads).
+func (m ModelConfig) KVBytesPerToken() int64 {
+	return int64(2 * m.KVHeads * m.HeadDim * 2) // 2 tensors × BF16
+}
+
+// Scaled shrinks the model's feature dimensions by factor f while keeping
+// the expert count, top-k, head structure, and layer count intact. The
+// experiments run at scale factor 8: event counts in the discrete-event
+// simulator grow with the number of STeP tiles, and the paper's absolute
+// on-chip footprints imply weight tiles far smaller than the full
+// matrices. Scaling preserves every ratio the evaluation reports — which
+// schedule wins, by what factor, and where crossovers fall — because
+// traffic, FLOPs, and tile footprints all scale uniformly.
+func (m ModelConfig) Scaled(f int) ModelConfig {
+	if f <= 1 {
+		return m
+	}
+	out := m
+	out.Name = fmt.Sprintf("%s/%d", m.Name, f)
+	out.Hidden = m.Hidden / f
+	out.Inter = m.Inter / f
+	out.WeightStrip = m.WeightStrip / f
+	out.HeadDim = m.HeadDim / f
+	return out
+}

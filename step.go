@@ -1,0 +1,299 @@
+// Package step is a Go implementation of Streaming Tensor Programs
+// (STeP), the streaming abstraction for dynamic tensor workloads on
+// spatial dataflow accelerators from "Streaming Tensor Programs: A
+// Streaming Abstraction for Dynamic Parallelism" (ASPLOS 2026).
+//
+// A STeP program is an asynchronous dataflow graph: nodes are operators,
+// edges are streams of tiles, selectors, and buffer references punctuated
+// by stop tokens that encode tensor structure. The package provides
+//
+//   - the graph builder with symbolic stream-shape verification,
+//   - every STeP operator (off-chip and on-chip memory operators, dynamic
+//     routing/merging, higher-order operators, shape operators),
+//   - a deterministic cycle-approximate simulator with a Roofline
+//     performance model, an HBM model, and on-chip scratchpad accounting,
+//   - the symbolic metric equations of the paper's §4.2 (off-chip traffic
+//     and on-chip memory requirements), and
+//   - the evaluation workloads (MoE layers with static/dynamic tiling and
+//     configuration time-multiplexing, decode attention with three
+//     parallelization strategies, SwiGLU validation, end-to-end decoders).
+//
+// A minimal program:
+//
+//	g := step.NewGraph()
+//	in := step.CountSource(g, "n", 8)
+//	dbl := step.Map(g, "double", in, step.MapFn{
+//	    Name: "double",
+//	    Apply: func(v step.Value) (step.Value, int64, error) {
+//	        return step.Scalar{V: v.(step.Scalar).V * 2}, 1, nil
+//	    },
+//	}, step.ComputeOpts{ComputeBW: 1})
+//	out := step.Capture(g, "out", dbl)
+//	res, err := g.Run(step.DefaultConfig())
+//
+// See examples/ for the paper's simplified MoE (§3.3), dynamic tiling,
+// dynamic parallelization, and an end-to-end decoder layer.
+package step
+
+import (
+	"step/internal/des"
+	"step/internal/element"
+	"step/internal/graph"
+	"step/internal/hbm"
+	"step/internal/onchip"
+	"step/internal/ops"
+	"step/internal/shape"
+	"step/internal/symbolic"
+	"step/internal/tile"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// Core graph types.
+type (
+	// Graph is a STeP program under construction.
+	Graph = graph.Graph
+	// Stream is a dataflow edge with a symbolic shape and data type.
+	Stream = graph.Stream
+	// Config parameterizes a simulated run.
+	Config = graph.Config
+	// Result summarizes a simulated run.
+	Result = graph.Result
+	// DType is a stream's data type.
+	DType = graph.DType
+	// TileType, SelectorType, BufferType, TupleType, ScalarType, and
+	// FlagType are the stream data types of §3.1.
+	TileType     = graph.TileType
+	SelectorType = graph.SelectorType
+	BufferType   = graph.BufferType
+	TupleType    = graph.TupleType
+	ScalarType   = graph.ScalarType
+	FlagType     = graph.FlagType
+)
+
+// Stream element types.
+type (
+	// Element is one stream token: data, a stop token, or Done.
+	Element = element.Element
+	// Value is a data element's payload.
+	Value = element.Value
+	// Tile is a dense two-dimensional matrix value.
+	TileVal = element.TileVal
+	// Selector is a multi-hot routing vector.
+	Selector = element.Selector
+	// Scalar is an integer value (addresses, indices).
+	Scalar = element.Scalar
+	// Flag is a boolean value (padding indicators, acks).
+	Flag = element.Flag
+	// Tuple pairs two values (Zip output).
+	Tuple = element.Tuple
+)
+
+// Shape types.
+type (
+	// Shape is a stream shape [D_N, …, D_0].
+	Shape = shape.Shape
+	// Dim is one dimension: static-regular, dynamic-regular, or ragged.
+	Dim = shape.Dim
+	// Expr is a symbolic integer expression.
+	Expr = symbolic.Expr
+	// Env binds symbols to values for metric evaluation.
+	Env = symbolic.Env
+)
+
+// Operator function types.
+type (
+	// MapFn is an element-wise function for Map.
+	MapFn = ops.MapFn
+	// AccumFn is a reduction function for Accum and Scan.
+	AccumFn = ops.AccumFn
+	// FlatMapFn expands one value into a stream fragment.
+	FlatMapFn = ops.FlatMapFn
+	// ComputeOpts configures the Roofline model of a compute operator.
+	ComputeOpts = ops.ComputeOpts
+	// OffChipTensor is a tensor resident in off-chip memory.
+	OffChipTensor = ops.OffChipTensor
+	// CaptureOp records a stream for inspection.
+	CaptureOp = ops.CaptureOp
+	// Tile is a dense matrix.
+	Tile = tile.Tile
+	// Time is the virtual clock in cycles.
+	Time = des.Time
+)
+
+// NewGraph creates an empty STeP program.
+func NewGraph() *Graph { return graph.New() }
+
+// DefaultConfig is the §5.1 machine: 64 B/cycle on-chip memory units and
+// 1024 B/cycle off-chip bandwidth.
+func DefaultConfig() Config { return graph.DefaultConfig() }
+
+// Graph construction helpers re-exported from the ops package. Each
+// corresponds to a STeP operator of §3.2 (see Tables 3–7).
+var (
+	// Sources and sinks.
+	Source      = ops.Source
+	CountSource = ops.CountSource
+	Capture     = ops.Capture
+	Sink        = ops.Sink
+	Broadcast   = ops.Broadcast
+	Take        = ops.Take
+	Relay       = ops.Relay
+	RelayFeed   = ops.RelayFeed
+
+	// Off-chip memory operators (§3.2.1).
+	NewOffChipTensor        = ops.NewOffChipTensor
+	LinearOffChipLoad       = ops.LinearOffChipLoad
+	LinearOffChipLoadStatic = ops.LinearOffChipLoadStatic
+	LinearOffChipStore      = ops.LinearOffChipStore
+	RandomOffChipLoad       = ops.RandomOffChipLoad
+	RandomOffChipStore      = ops.RandomOffChipStore
+
+	// On-chip memory operators (§3.2.2).
+	Bufferize       = ops.Bufferize
+	Streamify       = ops.Streamify
+	StreamifyLinear = ops.StreamifyLinear
+
+	// Dynamic routing and merging operators (§3.2.3).
+	Partition  = ops.Partition
+	Reassemble = ops.Reassemble
+	EagerMerge = ops.EagerMerge
+
+	// Higher-order operators (§3.2.4).
+	Map     = ops.Map
+	Map2    = ops.Map2
+	Accum   = ops.Accum
+	Scan    = ops.Scan
+	FlatMap = ops.FlatMap
+
+	// Shape operators (§3.2.5).
+	Flatten     = ops.Flatten
+	Reshape     = ops.Reshape
+	Promote     = ops.Promote
+	Expand      = ops.Expand
+	Zip         = ops.Zip
+	RepeatElems = ops.RepeatElems
+
+	// Function library.
+	MatmulFn          = ops.MatmulFn
+	MatmulAccFn       = ops.MatmulAccFn
+	SiLUFn            = ops.SiLUFn
+	ElemMulFn         = ops.ElemMulFn
+	ElemAddFn         = ops.ElemAddFn
+	RowSoftmaxFn      = ops.RowSoftmaxFn
+	ScaleFn           = ops.ScaleFn
+	TransposeFn       = ops.TransposeFn
+	RetileRowFn       = ops.RetileRowFn
+	RetileColFn       = ops.RetileColFn
+	RetileStreamifyFn = ops.RetileStreamifyFn
+	MatmulOpts        = ops.MatmulOpts
+)
+
+// Element constructors.
+var (
+	// DataOf wraps a value into a data element.
+	DataOf = element.DataOf
+	// StopOf builds the stop token S_n.
+	StopOf = element.StopOf
+	// NewSelector builds a multi-hot selector.
+	NewSelector = element.NewSelector
+	// FormatStream renders a stream like the paper's examples.
+	FormatStream = element.FormatStream
+)
+
+// DoneElem is the stream-terminating token.
+var DoneElem = element.DoneElem
+
+// Shape constructors.
+var (
+	// NewShape builds a shape from outermost to innermost dims.
+	NewShape = shape.New
+	// ShapeOfInts builds an all-static shape.
+	ShapeOfInts = shape.OfInts
+	// StaticDim, DynamicDim, and RaggedDim build dimensions.
+	StaticDim  = shape.Static
+	DynamicDim = shape.Dynamic
+	RaggedDim  = shape.NamedRagged
+	// StaticTile and DynamicRowTile build tile types.
+	StaticTile     = graph.StaticTile
+	DynamicRowTile = graph.DynamicRowTile
+	// Sym and Const build symbolic expressions.
+	Sym       = symbolic.Sym
+	ConstExpr = symbolic.Const
+)
+
+// Tile constructors.
+var (
+	// NewTile allocates a zeroed tile; RandomTile a seeded pseudo-random
+	// one; ShapeOnlyTile a tile without element storage (timing-only runs).
+	NewTile       = tile.New
+	RandomTile    = tile.Random
+	ShapeOnlyTile = tile.ShapeOnly
+	TileFromRows  = tile.FromRows
+)
+
+// Workload and trace entry points for the paper's evaluation.
+type (
+	// ModelConfig captures a model architecture (Qwen3-30B-A3B, Mixtral).
+	ModelConfig = workloads.ModelConfig
+	// MoELayerConfig parameterizes the MoE layer of §5.2/§5.3.
+	MoELayerConfig = workloads.MoELayerConfig
+	// AttentionConfig parameterizes decode attention (§5.4).
+	AttentionConfig = workloads.AttentionConfig
+	// DecoderConfig parameterizes the end-to-end decoder (§5.5).
+	DecoderConfig = workloads.DecoderConfig
+	// ExpertRouting is a per-token top-k expert assignment trace.
+	ExpertRouting = trace.ExpertRouting
+	// SimpleMoEConfig parameterizes the §3.3 walkthrough.
+	SimpleMoEConfig = workloads.SimpleMoEConfig
+	// SwiGLUConfig parameterizes the Fig. 8 validation layer.
+	SwiGLUConfig = workloads.SwiGLUConfig
+	// Skew classifies expert-popularity imbalance in routing traces.
+	Skew = trace.Skew
+	// VarianceClass buckets KV-length variability (App. B.3).
+	VarianceClass = trace.VarianceClass
+	// ParallelStrategy selects the attention dispatch policy (§5.4).
+	ParallelStrategy = workloads.ParallelStrategy
+	// DecoderResult aggregates end-to-end metrics (Fig. 17).
+	DecoderResult = workloads.DecoderResult
+)
+
+// Trace and strategy constants.
+const (
+	SkewUniform  = trace.SkewUniform
+	SkewModerate = trace.SkewModerate
+	SkewHeavy    = trace.SkewHeavy
+
+	VarLow  = trace.VarLow
+	VarMed  = trace.VarMed
+	VarHigh = trace.VarHigh
+
+	StaticCoarse      = workloads.StaticCoarse
+	StaticInterleaved = workloads.StaticInterleaved
+	DynamicParallel   = workloads.DynamicParallel
+)
+
+var (
+	// Qwen3Config and MixtralConfig are the §5.1 model architectures.
+	Qwen3Config   = workloads.Qwen3Config
+	MixtralConfig = workloads.MixtralConfig
+	// BuildSimpleMoE builds the §3.3 walkthrough example;
+	// DefaultSimpleMoEConfig reproduces the paper's dimensions.
+	BuildSimpleMoE         = workloads.BuildSimpleMoE
+	DefaultSimpleMoEConfig = workloads.DefaultSimpleMoEConfig
+	// BuildMoELayer, BuildAttention, BuildSwiGLU, and RunDecoder build the
+	// evaluation workloads.
+	BuildMoELayer  = workloads.BuildMoELayer
+	BuildAttention = workloads.BuildAttention
+	BuildSwiGLU    = workloads.BuildSwiGLU
+	RunDecoder     = workloads.RunDecoder
+	// SampleExpertRouting and SampleKVLengths generate synthetic traces.
+	SampleExpertRouting = trace.SampleExpertRouting
+	SampleKVLengths     = trace.SampleKVLengths
+)
+
+// HBMConfig and OnchipConfig re-export the machine-model configurations.
+type (
+	HBMConfig    = hbm.Config
+	OnchipConfig = onchip.Config
+)
