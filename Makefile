@@ -1,0 +1,42 @@
+# Shared targets for CI (.github/workflows/ci.yml) and humans.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; fmt-check is the CI gate.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The race job trims the determinism matrix with -short (see
+# internal/experiments/determinism_test.go); the full matrix runs
+# under `make test`.
+race:
+	$(GO) test -race -short ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One iteration per benchmark: exercises every experiment's bench path
+# without timing noise.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+check: build vet fmt-check test race bench-smoke

@@ -1,6 +1,8 @@
 package step
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"step/internal/des"
@@ -54,6 +56,67 @@ func BenchmarkFigure18Transform(b *testing.B)               { runExperiment(b, "
 func BenchmarkFigure19TrafficPareto(b *testing.B)           { runExperiment(b, "fig19") }
 func BenchmarkFigure20TrafficParetoLargeBatch(b *testing.B) { runExperiment(b, "fig20") }
 func BenchmarkFigure21ParallelizationAblation(b *testing.B) { runExperiment(b, "fig21") }
+
+// benchWorkerCounts compares the sequential path against all cores,
+// skipping the duplicate case on single-CPU machines.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkSuiteParallel measures the experiment harness fan-out on the
+// sweep-heavy figures (9/10/15/19/20/21): each ID runs at Workers=1
+// (the pre-harness sequential path) and Workers=GOMAXPROCS, so the
+// parallel speedup is a measured ratio rather than an assertion.
+func BenchmarkSuiteParallel(b *testing.B) {
+	ids := []string{"fig9", "fig10", "fig15", "fig19", "fig20", "fig21"}
+	counts := benchWorkerCounts()
+	for _, id := range ids {
+		for _, w := range counts {
+			b.Run(fmt.Sprintf("%s/workers=%d", id, w), func(b *testing.B) {
+				r, ok := experiments.Lookup(id)
+				if !ok {
+					b.Fatalf("unknown experiment %q", id)
+				}
+				s := benchSuite()
+				s.Workers = w
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tb, err := r.Run(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tb.Rows) == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRunAll measures the whole-registry fan-out behind
+// cmd/experiments: all fourteen artifacts at Workers=1 vs all cores.
+func BenchmarkRunAll(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := benchSuite()
+			s.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, oc := range experiments.RunAll(s, experiments.All()) {
+					if oc.Err != nil {
+						b.Fatalf("%s: %v", oc.Runner.ID, oc.Err)
+					}
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSymbolicMetrics measures the §4.2 symbolic-frontend path:
 // building a full MoE graph and evaluating its traffic and on-chip

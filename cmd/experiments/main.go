@@ -6,6 +6,7 @@
 //	experiments -fig fig9       # run one experiment
 //	experiments -out results/   # also write one CSV per experiment
 //	experiments -quick          # shrink sweeps for a fast smoke run
+//	experiments -workers 4      # bound the parallel fan-out (0 = all CPUs)
 //	experiments -list           # list experiment IDs
 package main
 
@@ -14,18 +15,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 
 	"step/internal/experiments"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "run a single experiment by ID (e.g. fig9)")
-		out   = flag.String("out", "", "directory to write CSV results into")
-		seed  = flag.Uint64("seed", 7, "trace seed")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		fig     = flag.String("fig", "", "run a single experiment by ID (e.g. fig9)")
+		out     = flag.String("out", "", "directory to write CSV results into")
+		seed    = flag.Uint64("seed", 7, "trace seed")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	suite := experiments.Suite{Seed: *seed, Quick: *quick}
+	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers}
 	runners := experiments.All()
 	if *fig != "" {
 		r, ok := experiments.Lookup(*fig)
@@ -54,24 +55,36 @@ func main() {
 	}
 
 	failed := false
-	for _, r := range runners {
-		start := time.Now()
-		tb, err := r.Run(suite)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+	report := func(oc experiments.Outcome) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", oc.Runner.ID, oc.Err)
 			failed = true
-			continue
+			return
 		}
-		fmt.Println(tb.String())
-		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Println(oc.Table.String())
+		fmt.Printf("   (%.1fs)\n\n", oc.Elapsed.Seconds())
 		if *out != "" {
-			path := filepath.Join(*out, tb.ID+".csv")
-			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+			path := filepath.Join(*out, oc.Table.ID+".csv")
+			if err := os.WriteFile(path, []byte(oc.Table.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
 				failed = true
 			}
 		}
 	}
+	// Stream results while preserving registry order: an outcome prints
+	// as soon as everything before it has printed, so long-running
+	// parallel suites show progress and the output is stable across
+	// worker counts (timings aside).
+	pending := make([]*experiments.Outcome, len(runners))
+	printed := 0
+	experiments.RunAllProgress(suite, runners, func(oc experiments.Outcome) {
+		pending[oc.Index] = &oc
+		for printed < len(pending) && pending[printed] != nil {
+			report(*pending[printed])
+			pending[printed] = nil
+			printed++
+		}
+	})
 	if failed {
 		os.Exit(1)
 	}

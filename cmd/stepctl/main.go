@@ -6,6 +6,7 @@
 //	stepctl dot                # print the simplified MoE graph in Graphviz DOT
 //	stepctl tables             # print the STeP operator reference (Tables 3–7)
 //	stepctl moe [flags]        # run one MoE-layer configuration
+//	stepctl exp [flags]        # run paper experiments on the parallel harness
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"step"
+	"step/internal/experiments"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 		tables()
 	case "moe":
 		err = moe(os.Args[2:])
+	case "exp":
+		err = exp(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -42,7 +46,43 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp> [flags]")
+}
+
+// exp runs registered paper experiments on the parallel harness.
+func exp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	var (
+		fig     = fs.String("fig", "", "run a single experiment by ID (empty = all)")
+		seed    = fs.Uint64("seed", 7, "trace seed")
+		quick   = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		workers = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runners := experiments.All()
+	if *fig != "" {
+		r, ok := experiments.Lookup(*fig)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *fig)
+		}
+		runners = []experiments.Runner{r}
+	}
+	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers}
+	failed := 0
+	for _, oc := range experiments.RunAll(suite, runners) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "stepctl: %s: %v\n", oc.Runner.ID, oc.Err)
+			failed++
+			continue
+		}
+		fmt.Println(oc.Table.String())
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
 }
 
 func demo() error {

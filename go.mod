@@ -1,0 +1,3 @@
+module step
+
+go 1.24

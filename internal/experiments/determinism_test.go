@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// TestWorkersDeterminism runs every registered experiment sequentially
+// (Workers=1) and on the pool (Workers=8) and requires the rendered
+// tables to be byte-identical: the harness may only change where sweep
+// points execute, never what they produce or the order they render in.
+func TestWorkersDeterminism(t *testing.T) {
+	// Short mode (the CI race job) keeps one representative of each
+	// harness code path: tiling, time-multiplexing, parallelization,
+	// ablation, and end-to-end. The full run covers every registry ID.
+	shortSet := map[string]bool{
+		"fig9": true, "fig12": true, "fig14": true, "fig17": true, "fig21": true,
+	}
+	for _, r := range All() {
+		r := r
+		if testing.Short() && !shortSet[r.ID] {
+			continue
+		}
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			seq, err := r.Run(Suite{Seed: 7, Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatalf("Workers=1: %v", err)
+			}
+			par, err := r.Run(Suite{Seed: 7, Quick: true, Workers: 8})
+			if err != nil {
+				t.Fatalf("Workers=8: %v", err)
+			}
+			if got, want := par.String(), seq.String(); got != want {
+				t.Errorf("rendered table differs between Workers=8 and Workers=1:\n--- Workers=8 ---\n%s\n--- Workers=1 ---\n%s", got, want)
+			}
+			if got, want := par.CSV(), seq.CSV(); got != want {
+				t.Errorf("CSV differs between Workers=8 and Workers=1:\n--- Workers=8 ---\n%s\n--- Workers=1 ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestRunAllDeterminism checks the top-level fan-out: running the whole
+// registry through RunAll yields the same tables in the same order as a
+// sequential pass.
+func TestRunAllDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered per-experiment by TestWorkersDeterminism")
+	}
+	seq := RunAll(Suite{Seed: 7, Quick: true, Workers: 1}, All())
+	par := RunAll(Suite{Seed: 7, Quick: true, Workers: 8}, All())
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("%s: errs %v / %v", seq[i].Runner.ID, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Runner.ID != par[i].Runner.ID {
+			t.Fatalf("outcome %d order differs: %s vs %s", i, seq[i].Runner.ID, par[i].Runner.ID)
+		}
+		if seq[i].Table.String() != par[i].Table.String() {
+			t.Errorf("%s: rendered table differs between worker counts", seq[i].Runner.ID)
+		}
+	}
+}

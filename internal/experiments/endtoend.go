@@ -16,6 +16,7 @@ import (
 // tiling sweep, mirroring the paper's methodology ("the same closest points
 // along each axis from Fig. 9").
 func Figure17(s Suite) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     "fig17",
 		Title:  "End-to-end decoder: speedup, on-chip memory, allocated compute",
@@ -26,40 +27,27 @@ func Figure17(s Suite) (*Table, error) {
 	if s.Quick {
 		sampleLayers = 1
 	}
-	for _, base := range []workloads.ModelConfig{
+	bases := []workloads.ModelConfig{
 		workloads.MixtralConfig(),
 		workloads.Qwen3Config(),
-	} {
-		model := base.Scaled(ExperimentScale)
+	}
+	type modelRun struct {
+		model                   workloads.ModelConfig
+		memTile, perfTile       int
+		memRes, perfRes, dynRes workloads.DecoderResult
+	}
+	// Fan the models out on the pool; inside each, the tiling sweep and
+	// the three decoder schedules fan out in turn.
+	runs, err := parMap(s, len(bases), func(mi int) (modelRun, error) {
+		model := bases[mi].Scaled(ExperimentScale)
 		// Derive matched tile sizes from the tiling sweep.
 		static, dyn, err := runTilingSweep(s, model, batch, []int{8, 16, 32, 64})
 		if err != nil {
-			return nil, err
+			return modelRun{}, err
 		}
 		memTile, perfTile := matchTiles(static, dyn)
 
 		kv := trace.SampleKVLengths(batch, 2048, trace.VarMed, s.Seed)
-		run := func(cfg workloads.DecoderConfig) (workloads.DecoderResult, error) {
-			cfg.Model = model
-			cfg.Batch = batch
-			cfg.KVLens = kv
-			cfg.SampleLayers = sampleLayers
-			cfg.Skew = trace.SkewHeavy
-			cfg.Seed = s.Seed
-			return workloads.RunDecoder(cfg, graph.DefaultConfig())
-		}
-		memRes, err := run(workloads.DecoderConfig{
-			MoETile: memTile, AttnStrategy: workloads.StaticInterleaved,
-		})
-		if err != nil {
-			return nil, err
-		}
-		perfRes, err := run(workloads.DecoderConfig{
-			MoETile: perfTile, AttnStrategy: workloads.StaticInterleaved,
-		})
-		if err != nil {
-			return nil, err
-		}
 		// Time-multiplexing applies when only a small fraction of a large
 		// expert pool is active (the paper skips it for Mixtral at
 		// batch 64, where all 8 experts are active).
@@ -67,13 +55,37 @@ func Figure17(s Suite) (*Table, error) {
 		if model.NumExperts >= 64 {
 			dynRegions = 16
 		}
-		dynRes, err := run(workloads.DecoderConfig{
-			MoEDynamic: true, MoERegions: dynRegions,
-			AttnStrategy: workloads.DynamicParallel,
+		schedules := []workloads.DecoderConfig{
+			{MoETile: memTile, AttnStrategy: workloads.StaticInterleaved},
+			{MoETile: perfTile, AttnStrategy: workloads.StaticInterleaved},
+			{MoEDynamic: true, MoERegions: dynRegions, AttnStrategy: workloads.DynamicParallel},
+		}
+		results, err := parMap(s, len(schedules), func(i int) (workloads.DecoderResult, error) {
+			cfg := schedules[i]
+			cfg.Model = model
+			cfg.Batch = batch
+			cfg.KVLens = kv
+			cfg.SampleLayers = sampleLayers
+			cfg.Skew = trace.SkewHeavy
+			cfg.Seed = s.Seed
+			return workloads.RunDecoder(cfg, graph.DefaultConfig())
 		})
 		if err != nil {
-			return nil, err
+			return modelRun{}, err
 		}
+		return modelRun{
+			model:   model,
+			memTile: memTile, perfTile: perfTile,
+			memRes: results[0], perfRes: results[1], dynRes: results[2],
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, run := range runs {
+		model := run.model
+		memTile, perfTile := run.memTile, run.perfTile
+		memRes, perfRes, dynRes := run.memRes, run.perfRes, run.dynRes
 
 		add := func(name string, r workloads.DecoderResult) {
 			t.AddRow(model.Name, name, uint64(r.CyclesTotal),

@@ -91,6 +91,18 @@ type Suite struct {
 	// Quick shrinks sweeps (used by -short tests); full mode matches the
 	// paper's parameter grids.
 	Quick bool
+	// Workers bounds the fan-out of independent sweep points (and of
+	// whole experiments under RunAll). Zero means one worker per CPU
+	// (runtime.GOMAXPROCS(0)); 1 runs everything sequentially on the
+	// calling goroutine, preserving the pre-harness behavior for
+	// debugging. Each DES simulation stays single-threaded and
+	// deterministic, so rendered tables are byte-identical at any
+	// worker count.
+	Workers int
+	// sem is the shared worker-token pool (see Suite.ensurePool):
+	// nested sweeps draw from one budget so total concurrency stays
+	// bounded by Workers at any fan-out depth.
+	sem chan struct{}
 }
 
 // DefaultSuite is the reproducible default.

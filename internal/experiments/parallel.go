@@ -33,23 +33,31 @@ func runAttention(model workloads.ModelConfig, kv []int, strategy workloads.Para
 // Figure14 compares dynamic parallelization against static interleaved
 // across KV-length variance classes at batch 64.
 func Figure14(s Suite) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     "fig14",
 		Title:  "Dynamic parallelization vs static interleaved (batch=64)",
 		Header: []string{"KVVariance", "InterleavedCycles", "DynamicCycles", "Speedup"},
 	}
 	model := workloads.Qwen3Config().Scaled(ExperimentScale)
-	for _, class := range []trace.VarianceClass{trace.VarLow, trace.VarMed, trace.VarHigh} {
-		kv := trace.SampleKVLengths(64, 2048, class, s.Seed)
-		ic, err := runAttention(model, kv, workloads.StaticInterleaved, nil, 0)
-		if err != nil {
-			return nil, err
+	classes := []trace.VarianceClass{trace.VarLow, trace.VarMed, trace.VarHigh}
+	type pair struct{ ic, dc uint64 }
+	// Each variance class needs two independent simulations: fan both
+	// strategies of every class out on the pool.
+	pairs, err := parMap(s, 2*len(classes), func(i int) (uint64, error) {
+		kv := trace.SampleKVLengths(64, 2048, classes[i/2], s.Seed)
+		strategy := workloads.StaticInterleaved
+		if i%2 == 1 {
+			strategy = workloads.DynamicParallel
 		}
-		dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(class.String(), ic, dc, float64(ic)/float64(dc))
+		return runAttention(model, kv, strategy, nil, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, class := range classes {
+		p := pair{ic: pairs[2*i], dc: pairs[2*i+1]}
+		t.AddRow(class.String(), p.ic, p.dc, float64(p.ic)/float64(p.dc))
 	}
 	t.Notef("speedups should grow with variance (paper: 1.14-1.26x low, 1.47-1.57x high)")
 	return t, nil
@@ -58,24 +66,30 @@ func Figure14(s Suite) (*Table, error) {
 // Figure15 compares static coarse-grained parallelization with dynamic
 // across batch sizes (coarse blocks of 16 requests per region).
 func Figure15(s Suite) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     "fig15",
 		Title:  "Static coarse vs dynamic parallelization across batch sizes",
 		Header: []string{"Batch", "CoarseCycles", "DynamicCycles", "Speedup"},
 	}
 	model := workloads.Qwen3Config().Scaled(ExperimentScale)
-	for _, b := range []int{16, 32, 48, 64} {
+	batches := []int{16, 32, 48, 64}
+	// Coarse fixes 16 requests per region regardless of batch, so small
+	// batches leave regions idle (§5.4). Both strategies of every batch
+	// size are independent simulations, fanned out on the pool.
+	cycles, err := parMap(s, 2*len(batches), func(i int) (uint64, error) {
+		b := batches[i/2]
 		kv := trace.SampleKVLengths(b, 2048, trace.VarMed, s.Seed+uint64(b))
-		// Coarse fixes 16 requests per region regardless of batch, so
-		// small batches leave regions idle (§5.4).
-		cc, err := runAttention(model, kv, workloads.StaticCoarse, nil, 16)
-		if err != nil {
-			return nil, err
+		if i%2 == 0 {
+			return runAttention(model, kv, workloads.StaticCoarse, nil, 16)
 		}
-		dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
-		if err != nil {
-			return nil, err
-		}
+		return runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range batches {
+		cc, dc := cycles[2*i], cycles[2*i+1]
 		t.AddRow(b, cc, dc, float64(cc)/float64(dc))
 	}
 	t.Notef("largest win at batch=16 where coarse leaves regions idle (paper: 2.72x at 16, 1.43x at 64)")
@@ -86,6 +100,7 @@ func Figure15(s Suite) (*Table, error) {
 // batch compositions and variance classes, normalized to dynamic, geomean
 // over three sampled batches.
 func Figure21(s Suite) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     "fig21",
 		Title:  "Parallelization ablation (normalized cycles vs dynamic)",
@@ -101,40 +116,55 @@ func Figure21(s Suite) (*Table, error) {
 	if s.Quick {
 		samples = 1
 	}
-	var coarseRatios, intlRatios []float64
-	for _, spec := range specs {
+	classes := []trace.VarianceClass{trace.VarHigh, trace.VarMed, trace.VarLow}
+	type cell struct{ gc, gi float64 }
+	// Each (batch composition, variance class) cell is an independent
+	// geomean over its samples: fan the cells out on the pool and render
+	// rows afterwards in grid order.
+	cells, err := parMap(s, len(specs)*len(classes), func(idx int) (cell, error) {
+		spec := specs[idx/len(classes)]
+		class := classes[idx%len(classes)]
 		total := 0
 		for _, b := range spec.sizes {
 			total += b
 		}
-		for _, class := range []trace.VarianceClass{trace.VarHigh, trace.VarMed, trace.VarLow} {
-			gc, gi := 1.0, 1.0
-			for i := 0; i < samples; i++ {
-				kv := trace.SampleKVLengths(total, 2048, class, s.Seed+uint64(i)*131+uint64(total))
-				var micro []int
-				if len(spec.sizes) > 1 {
-					micro = spec.sizes
-				}
-				cc, err := runAttention(model, kv, workloads.StaticCoarse, micro, 16)
-				if err != nil {
-					return nil, err
-				}
-				ic, err := runAttention(model, kv, workloads.StaticInterleaved, nil, 0)
-				if err != nil {
-					return nil, err
-				}
-				dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
-				if err != nil {
-					return nil, err
-				}
-				gc *= float64(cc) / float64(dc)
-				gi *= float64(ic) / float64(dc)
+		gc, gi := 1.0, 1.0
+		for i := 0; i < samples; i++ {
+			kv := trace.SampleKVLengths(total, 2048, class, s.Seed+uint64(i)*131+uint64(total))
+			var micro []int
+			if len(spec.sizes) > 1 {
+				micro = spec.sizes
 			}
-			gc = math.Pow(gc, 1/float64(samples))
-			gi = math.Pow(gi, 1/float64(samples))
-			coarseRatios = append(coarseRatios, gc)
-			intlRatios = append(intlRatios, gi)
-			t.AddRow(spec.name, class.String(), gc, gi)
+			cc, err := runAttention(model, kv, workloads.StaticCoarse, micro, 16)
+			if err != nil {
+				return cell{}, err
+			}
+			ic, err := runAttention(model, kv, workloads.StaticInterleaved, nil, 0)
+			if err != nil {
+				return cell{}, err
+			}
+			dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+			if err != nil {
+				return cell{}, err
+			}
+			gc *= float64(cc) / float64(dc)
+			gi *= float64(ic) / float64(dc)
+		}
+		return cell{
+			gc: math.Pow(gc, 1/float64(samples)),
+			gi: math.Pow(gi, 1/float64(samples)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var coarseRatios, intlRatios []float64
+	for si, spec := range specs {
+		for ci, class := range classes {
+			c := cells[si*len(classes)+ci]
+			coarseRatios = append(coarseRatios, c.gc)
+			intlRatios = append(intlRatios, c.gi)
+			t.AddRow(spec.name, class.String(), c.gc, c.gi)
 		}
 	}
 	t.Notef("geomean normalized cycles: coarse %.2fx, interleaved %.2fx (paper: 1.85x, 1.36x)",

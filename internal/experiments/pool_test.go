@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := parMap(Suite{Workers: workers}, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestParMapEmpty(t *testing.T) {
+	got, err := parMap(Suite{Workers: 4}, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestParMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := parMap(Suite{Workers: workers}, 8, func(i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want %v", workers, err, boom)
+		}
+	}
+}
+
+// TestParMapEarlyCancellation checks that after one sweep point fails, the
+// pool stops dispatching not-yet-started jobs: with 2 workers and a first
+// job that fails only after every other in-flight job has finished, far
+// fewer than n jobs may run.
+func TestParMapEarlyCancellation(t *testing.T) {
+	const n = 1000
+	boom := errors.New("boom")
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	_, err := parMap(Suite{Workers: 2}, n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			// Fail only after at least one other job has run, so the
+			// cancellation path (not just the failing worker's exit) is
+			// what stops the remaining dispatch.
+			<-release
+			return 0, boom
+		}
+		once.Do(func() { close(release) })
+		// Keep surviving-worker progress slow relative to the failure
+		// landing, so the assertion below cannot flake.
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want %v", err, boom)
+	}
+	// The non-failing worker keeps draining until the failure lands, but
+	// the failure must stop dispatch well before the full range runs.
+	if got := started.Load(); got == n {
+		t.Fatalf("all %d jobs ran despite early failure", n)
+	}
+}
+
+func TestParMapSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int
+	_, err := parMap(Suite{Workers: 1}, 8, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("sequential mode ran %d jobs after failure, want 3", calls)
+	}
+}
+
+// TestParMapNestedBudget checks that nested fan-outs draw from one
+// shared pool: with Workers=3, an outer sweep whose points each run an
+// inner sweep must never execute more than 3 jobs concurrently —
+// inner levels degrade to inline execution when the tokens are spent.
+func TestParMapNestedBudget(t *testing.T) {
+	s := Suite{Workers: 3}.ensurePool()
+	var cur, peak atomic.Int64
+	job := func() {
+		c := cur.Add(1)
+		for {
+			m := peak.Load()
+			if c <= m || peak.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+	}
+	_, err := parMap(s, 4, func(i int) (int, error) {
+		_, err := parMap(s, 4, func(j int) (int, error) {
+			job()
+			return 0, nil
+		})
+		return 0, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds Workers=3", got)
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	if effectiveWorkers(0) < 1 || effectiveWorkers(-3) < 1 {
+		t.Fatal("defaulted worker count must be positive")
+	}
+	if effectiveWorkers(5) != 5 {
+		t.Fatalf("explicit count not preserved: %d", effectiveWorkers(5))
+	}
+}
+
+func TestRunAllReportsPerOutcome(t *testing.T) {
+	boom := errors.New("boom")
+	runners := []Runner{
+		{ID: "ok", Desc: "works", Run: func(Suite) (*Table, error) {
+			return &Table{ID: "ok"}, nil
+		}},
+		{ID: "bad", Desc: "fails", Run: func(Suite) (*Table, error) {
+			return nil, boom
+		}},
+		{ID: "ok2", Desc: "still runs after a failure", Run: func(Suite) (*Table, error) {
+			return &Table{ID: "ok2"}, nil
+		}},
+	}
+	for _, workers := range []int{1, 4} {
+		out := RunAll(Suite{Workers: workers}, runners)
+		if len(out) != 3 {
+			t.Fatalf("workers=%d: %d outcomes", workers, len(out))
+		}
+		if out[0].Err != nil || out[0].Table.ID != "ok" {
+			t.Fatalf("workers=%d: outcome 0: %+v", workers, out[0])
+		}
+		if !errors.Is(out[1].Err, boom) || out[1].Table != nil {
+			t.Fatalf("workers=%d: outcome 1: %+v", workers, out[1])
+		}
+		if out[2].Err != nil || out[2].Table.ID != "ok2" {
+			t.Fatalf("workers=%d: a failure must not mask later runners: %+v", workers, out[2])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome is the result of one registered experiment run by RunAll.
+type Outcome struct {
+	// Index is the runner's position in the input slice.
+	Index   int
+	Runner  Runner
+	Table   *Table // nil when Err is set
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes the given runners (pass All() for the full evaluation)
+// fanned out across the suite's worker pool. Every runner executes even
+// when another fails — errors are reported per Outcome so a broken
+// experiment cannot mask the rest of the evaluation — and outcomes are
+// returned in input order regardless of completion order.
+func RunAll(s Suite, runners []Runner) []Outcome {
+	return RunAllProgress(s, runners, nil)
+}
+
+// RunAllProgress is RunAll with streaming: when progress is non-nil it
+// is invoked once per experiment as each finishes, in completion order,
+// serialized so the callback needs no locking. Elapsed is wall-clock
+// time, so under a shared pool it includes contention with concurrently
+// running experiments.
+func RunAllProgress(s Suite, runners []Runner, progress func(Outcome)) []Outcome {
+	s = s.ensurePool()
+	var reportMu sync.Mutex
+	out, _ := parMap(s, len(runners), func(i int) (Outcome, error) {
+		r := runners[i]
+		start := time.Now()
+		tb, err := r.Run(s)
+		oc := Outcome{Index: i, Runner: r, Table: tb, Err: err, Elapsed: time.Since(start)}
+		if progress != nil {
+			reportMu.Lock()
+			progress(oc)
+			reportMu.Unlock()
+		}
+		return oc, nil
+	})
+	return out
+}

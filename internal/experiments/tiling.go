@@ -61,36 +61,47 @@ func runTilingSweep(s Suite, model workloads.ModelConfig, batch int, tiles []int
 			cycles: uint64(res.Cycles), onchip: oc, traffic: res.OffchipTrafficBytes,
 		}, nil
 	}
-	var static []tilingPoint
-	for _, ts := range tiles {
-		p, err := run(ts, false)
-		if err != nil {
-			return nil, tilingPoint{}, err
+	// Every sweep point is an independent simulation: fan the static
+	// tiles plus the dynamic point (the last index) out on the pool.
+	pts, err := parMap(s, len(tiles)+1, func(i int) (tilingPoint, error) {
+		if i == len(tiles) {
+			return run(0, true)
 		}
-		static = append(static, p)
-	}
-	dyn, err := run(0, true)
+		return run(tiles[i], false)
+	})
 	if err != nil {
 		return nil, tilingPoint{}, err
 	}
-	return static, dyn, nil
+	return pts[:len(tiles)], pts[len(tiles)], nil
 }
 
 // tilingTable renders a sweep with Pareto headline numbers.
 func tilingTable(id, title string, s Suite, batch int, tiles []int, useTraffic bool) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     id,
 		Title:  title,
 		Header: []string{"Model", "Schedule", "Cycles", "OnchipBytes", "TrafficBytes"},
 	}
-	for _, model := range []workloads.ModelConfig{
+	models := []workloads.ModelConfig{
 		workloads.MixtralConfig().Scaled(ExperimentScale),
 		workloads.Qwen3Config().Scaled(ExperimentScale),
-	} {
-		static, dyn, err := runTilingSweep(s, model, batch, tiles)
-		if err != nil {
-			return nil, err
-		}
+	}
+	type sweep struct {
+		static []tilingPoint
+		dyn    tilingPoint
+	}
+	// Sweep both models concurrently; rows are rendered afterwards in
+	// model order so the table is identical at any worker count.
+	sweeps, err := parMap(s, len(models), func(i int) (sweep, error) {
+		static, dyn, err := runTilingSweep(s, models[i], batch, tiles)
+		return sweep{static, dyn}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, model := range models {
+		static, dyn := sweeps[i].static, sweeps[i].dyn
 		var base []sched.Point
 		for _, p := range static {
 			t.AddRow(model.Name, p.label, p.cycles, p.onchip, p.traffic)

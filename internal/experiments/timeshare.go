@@ -24,35 +24,36 @@ func runTimeshareSweep(s Suite, dynamic bool, tileSize int, regions []int) ([]ti
 	if err != nil {
 		return nil, err
 	}
-	var out []timesharePoint
-	for _, r := range regions {
+	// Region counts are independent design points: fan them out on the
+	// pool, collected in sweep order.
+	return parMap(s, len(regions), func(i int) (timesharePoint, error) {
+		r := regions[i]
 		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
 			Model: model, Batch: 64,
 			TileSize: tileSize, Dynamic: dynamic, Regions: r,
 			Routing: routing, Seed: s.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return timesharePoint{}, err
 		}
 		cfg := graph.DefaultConfig()
 		res, err := l.Graph.Run(cfg)
 		if err != nil {
-			return nil, err
+			return timesharePoint{}, err
 		}
 		oc, err := l.OnchipBytes()
 		if err != nil {
-			return nil, err
+			return timesharePoint{}, err
 		}
-		out = append(out, timesharePoint{
+		return timesharePoint{
 			regions:     r,
 			cycles:      uint64(res.Cycles),
 			computeUtil: res.ComputeUtilization(),
 			onchip:      oc,
 			allocBW:     res.AllocatedComputeBW,
 			offchipUtil: res.OffchipBWUtilization(cfg.HBM.BandwidthBytesPerCycle),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // timeshareRegions is the Fig. 12/13 sweep: 128 regions (one per expert)
@@ -67,16 +68,21 @@ func timeshareRegions(quick bool) []int {
 // Figure12 reports compute utilization and cycles across region counts for
 // static and dynamic tiling.
 func Figure12(s Suite) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     "fig12",
 		Title:  "Time-multiplexing: compute utilization (Qwen MoE, batch=64)",
 		Header: []string{"Tiling", "Regions", "ExpertsPerRegion", "ComputeUtil", "Cycles"},
 	}
-	for _, dyn := range []bool{false, true} {
-		pts, err := runTimeshareSweep(s, dyn, 32, timeshareRegions(s.Quick))
-		if err != nil {
-			return nil, err
-		}
+	variants := []bool{false, true}
+	swept, err := parMap(s, len(variants), func(i int) ([]timesharePoint, error) {
+		return runTimeshareSweep(s, variants[i], 32, timeshareRegions(s.Quick))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, dyn := range variants {
+		pts := swept[vi]
 		name := "static(32)"
 		if dyn {
 			name = "dynamic"
@@ -112,6 +118,7 @@ func Figure12(s Suite) (*Table, error) {
 // Figure13 reports the resource view of the same sweep: cycles, on-chip
 // memory, allocated compute, and off-chip bandwidth utilization.
 func Figure13(s Suite) (*Table, error) {
+	s = s.ensurePool()
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Time-multiplexing: resources (Qwen MoE, tile=32, batch=64)",
