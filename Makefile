@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json check
 
 all: check
 
@@ -38,5 +38,16 @@ bench:
 # without timing noise.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-json runs the bench smoke suite (figure benchmarks plus the
+# sequential-vs-parallel DES engine comparison) and renders BENCH_core.json
+# (ns/op per figure, engine speedups) so the simulator core's perf
+# trajectory is tracked from PR to PR.
+bench-json:
+	$(GO) test -bench='BenchmarkEngineCompare|BenchmarkFigure|BenchmarkMoELayer|BenchmarkAttention|BenchmarkSimpleMoE|BenchmarkDESChannel' \
+		-benchtime=2x -run='^$$' . > bench-json.out
+	$(GO) run ./cmd/benchjson -out BENCH_core.json < bench-json.out
+	@rm -f bench-json.out
+	@echo wrote BENCH_core.json
 
 check: build vet fmt-check test race bench-smoke

@@ -118,6 +118,94 @@ func BenchmarkRunAll(b *testing.B) {
 	}
 }
 
+// benchSimWorkers returns the DES engine configurations to compare: the
+// sequential reference engine (1) and the conservative parallel engine
+// with one goroutine per dataflow block, scheduled over all cores.
+func benchSimWorkers() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2 // still exercises the parallel engine on single-CPU runners
+	}
+	return []int{1, n}
+}
+
+// BenchmarkEngineCompare measures the same simulations on the sequential
+// and the DAM-style parallel DES engine (identical results by
+// construction; see internal/des). make bench-json renders these into
+// BENCH_core.json so the perf trajectory of the simulator core is
+// tracked over time.
+func BenchmarkEngineCompare(b *testing.B) {
+	for _, id := range []string{"fig10", "fig17"} {
+		r, ok := experiments.Lookup(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		for _, w := range benchSimWorkers() {
+			b.Run(fmt.Sprintf("%s/sim-workers=%d", id, w), func(b *testing.B) {
+				s := benchSuite()
+				// Workers=1 disables the harness's sweep-point fan-out so
+				// the measured speedup isolates the DES engine.
+				s.Workers = 1
+				s.SimWorkers = w
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tb, err := r.Run(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tb.Rows) == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+		}
+	}
+	m := workloads.Qwen3Config().Scaled(8)
+	routing, err := trace.SampleExpertRouting(64, m.NumExperts, m.TopK, trace.SkewHeavy, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchSimWorkers() {
+		b.Run(fmt.Sprintf("moe-layer/sim-workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+					Model: m, Batch: 64, Dynamic: true, Routing: routing, Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := DefaultConfig()
+				cfg.SimWorkers = w
+				if _, err := l.Graph.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	kv := trace.SampleKVLengths(64, 2048, trace.VarHigh, 7)
+	for _, w := range benchSimWorkers() {
+		b.Run(fmt.Sprintf("attention/sim-workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := workloads.BuildAttention(workloads.AttentionConfig{
+					Model: m, KVLens: kv, Strategy: workloads.DynamicParallel,
+					Regions: 4, KVChunk: 64,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := DefaultConfig()
+				cfg.SimWorkers = w
+				if _, err := a.Graph.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSymbolicMetrics measures the §4.2 symbolic-frontend path:
 // building a full MoE graph and evaluating its traffic and on-chip
 // equations under the trace bindings.

@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into a machine-readable JSON artifact, including derived
+// sequential-vs-parallel DES engine speedups from the
+// BenchmarkEngineCompare sub-benchmarks. CI runs it via `make bench-json`
+// to emit BENCH_core.json, so the perf trajectory of the simulator core
+// is tracked from one PR to the next.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark measurement.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is a derived sequential-vs-parallel engine ratio.
+type Speedup struct {
+	Workload   string  `json:"workload"`
+	SeqNsPerOp float64 `json:"seq_ns_per_op"`
+	ParNsPerOp float64 `json:"par_ns_per_op"`
+	ParWorkers int     `json:"par_sim_workers"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the emitted artifact.
+type Report struct {
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	NumCPU     int       `json:"num_cpu"`
+	Benchmarks []Bench   `json:"benchmarks"`
+	Speedups   []Speedup `json:"engine_speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	rep := Report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		b := Bench{Name: trimCPUSuffix(fields[0])}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b.Iterations = iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Speedups = deriveSpeedups(rep.Benchmarks)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// trimCPUSuffix drops the "-8" GOMAXPROCS suffix go test appends.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// deriveSpeedups pairs BenchmarkEngineCompare/<workload>/sim-workers=1
+// with the highest-worker variant of the same workload.
+func deriveSpeedups(benches []Bench) []Speedup {
+	type variant struct {
+		workers int
+		ns      float64
+	}
+	byWorkload := map[string][]variant{}
+	for _, b := range benches {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkEngineCompare/")
+		if !ok {
+			continue
+		}
+		workload, cfg, ok := strings.Cut(rest, "/sim-workers=")
+		if !ok {
+			continue
+		}
+		w, err := strconv.Atoi(cfg)
+		if err != nil {
+			continue
+		}
+		byWorkload[workload] = append(byWorkload[workload], variant{w, b.NsPerOp})
+	}
+	var out []Speedup
+	for workload, vs := range byWorkload {
+		var seq, par variant
+		for _, v := range vs {
+			if v.workers <= 1 {
+				seq = v
+			} else if v.workers > par.workers {
+				par = v
+			}
+		}
+		if seq.ns == 0 || par.ns == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Workload:   workload,
+			SeqNsPerOp: seq.ns,
+			ParNsPerOp: par.ns,
+			ParWorkers: par.workers,
+			Speedup:    seq.ns / par.ns,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}

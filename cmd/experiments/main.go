@@ -7,6 +7,7 @@
 //	experiments -out results/   # also write one CSV per experiment
 //	experiments -quick          # shrink sweeps for a fast smoke run
 //	experiments -workers 4      # bound the parallel fan-out (0 = all CPUs)
+//	experiments -sim-workers 8  # parallel DES engine inside each simulation
 //	experiments -list           # list experiment IDs
 package main
 
@@ -21,12 +22,13 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "run a single experiment by ID (e.g. fig9)")
-		out     = flag.String("out", "", "directory to write CSV results into")
-		seed    = flag.Uint64("seed", 7, "trace seed")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		workers = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		fig        = flag.String("fig", "", "run a single experiment by ID (e.g. fig9)")
+		out        = flag.String("out", "", "directory to write CSV results into")
+		seed       = flag.Uint64("seed", 7, "trace seed")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		workers    = flag.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+		simWorkers = flag.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential reference engine, >=2 = conservative parallel engine (identical results)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 		return
 	}
 
-	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers}
+	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
 	runners := experiments.All()
 	if *fig != "" {
 		r, ok := experiments.Lookup(*fig)

@@ -53,10 +53,11 @@ func usage() {
 func exp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
 	var (
-		fig     = fs.String("fig", "", "run a single experiment by ID (empty = all)")
-		seed    = fs.Uint64("seed", 7, "trace seed")
-		quick   = fs.Bool("quick", false, "shrink sweeps for a fast run")
-		workers = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+		fig        = fs.String("fig", "", "run a single experiment by ID (empty = all)")
+		seed       = fs.Uint64("seed", 7, "trace seed")
+		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		workers    = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel (identical results)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +70,7 @@ func exp(args []string) error {
 		}
 		runners = []experiments.Runner{r}
 	}
-	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers}
+	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
 	failed := 0
 	for _, oc := range experiments.RunAll(suite, runners) {
 		if oc.Err != nil {

@@ -1,12 +1,133 @@
 package des
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
-// item is a queued channel element with its visibility time.
-type item[T any] struct {
-	v     T
-	ready Time   // enqueue time + channel latency
-	seq   uint64 // global arrival order, for deterministic Select ties
+// chanCore is the type-erased state of a channel: the metadata ring, the
+// endpoint bindings, and the per-engine waiter bookkeeping. The value ring
+// lives in the generic Chan[T] wrapper, indexed by the same slots.
+//
+// The ring never holds more than cap elements: a send may only complete
+// once dequeue #(n-cap) has happened (n = the send's sequence number), and
+// it completes at virtual time max(sender clock, time of that dequeue) —
+// recorded in deqTimes — so backpressure timing is a pure function of the
+// deterministic per-process clock traces, never of wall-clock interleaving.
+type chanCore struct {
+	sim     *Simulation
+	name    string
+	cap     int
+	latency Time
+
+	// Endpoint bindings. The sequential engine infers endpoints
+	// dynamically (and panics on MPSC misuse); the parallel engine
+	// requires a bound sender on any channel used by Select, and uses
+	// both bindings for conservative frontier/bound propagation. Atomic:
+	// lazily bound on first use under the channel mutex but read
+	// lock-free by the evaluator.
+	sender atomic.Pointer[Process]
+	recver atomic.Pointer[Process]
+
+	// Ring state. Guarded by mu under the parallel engine; by the
+	// one-process-at-a-time discipline under the sequential engine.
+	mu        sync.Mutex
+	ready     []Time // visibility time per slot
+	head      int
+	count     int
+	closed    bool
+	closeTime Time
+
+	// deqTimes[(k-1)%cap] is the virtual time of dequeue #k.
+	deqTimes []Time
+	nSent    int64
+	nRecv    int64
+
+	// Sequential-engine waiters.
+	seqRecvWaiter *Process
+	seqSendWaiter *Process
+
+	// Parallel-engine waiters.
+	recvParked *Process
+	sendParked *Process
+	// sendParkedNeed is the nRecv value the parked sender waits for.
+	sendParkedNeed int64
+	selParked      []*Process
+
+	// Atomically published snapshots read lock-free by the parallel
+	// engine's conservative evaluator. All are monotone enough to be
+	// valid conservative bounds under stale reads: headReadyA only
+	// shrinks when an item is already present (and any present item's
+	// ready time is >= the sender's published frontier), closedA is
+	// written after closeTimeA.
+	headReadyA atomic.Uint64 // timeInf when empty
+	closedA    atomic.Bool
+	closeTimeA atomic.Uint64
+	nRecvA     atomic.Int64
+}
+
+func (c *chanCore) init(sim *Simulation, name string, capacity int, latency Time) {
+	c.sim = sim
+	c.name = name
+	c.cap = capacity
+	c.latency = latency
+	c.ready = make([]Time, capacity)
+	c.deqTimes = make([]Time, capacity)
+	c.headReadyA.Store(uint64(timeInf))
+}
+
+// tail returns the slot index the next send will fill. It is stable under
+// concurrent dequeues: pops advance head and shrink count together, so
+// head+count (mod cap) is invariant.
+func (c *chanCore) tail() int { return (c.head + c.count) % c.cap }
+
+// push appends metadata for the element just written to the tail slot.
+// Callers hold the ring (engine-specific) exclusivity.
+func (c *chanCore) push(ready Time) {
+	c.ready[c.tail()] = ready
+	c.count++
+	c.nSent++
+	if c.count == 1 {
+		c.headReadyA.Store(uint64(ready))
+	}
+}
+
+// pop releases the head slot, recording the dequeue's virtual time.
+func (c *chanCore) pop(at Time) {
+	c.deqTimes[int(c.nRecv)%c.cap] = at
+	c.nRecv++
+	c.nRecvA.Store(c.nRecv)
+	c.head = (c.head + 1) % c.cap
+	c.count--
+	if c.count > 0 {
+		c.headReadyA.Store(uint64(c.ready[c.head]))
+	} else {
+		c.headReadyA.Store(uint64(timeInf))
+	}
+}
+
+// markClosed publishes the closed state. closeTime must be stored before
+// the flag so lock-free readers observing closedA see a valid closeTimeA.
+func (c *chanCore) markClosed(at Time) {
+	c.closeTime = at
+	c.closeTimeA.Store(uint64(at))
+	c.closedA.Store(true)
+	c.closed = true
+}
+
+// sendDeadline returns the earliest virtual time send #n (1-based) may
+// complete given recorded dequeues, assuming its slot dependency is
+// satisfied (nRecv >= n-cap).
+func (c *chanCore) sendDeadline(n int64) (Time, bool) {
+	need := n - int64(c.cap)
+	if need <= 0 {
+		return 0, true
+	}
+	if c.nRecv < need {
+		return 0, false
+	}
+	return c.deqTimes[int(need-1)%c.cap], true
 }
 
 // Chan is a bounded single-producer single-consumer FIFO with a fixed
@@ -14,19 +135,8 @@ type item[T any] struct {
 // channel holds Cap in-flight elements (backpressure); Recv blocks until
 // the head element's ready time.
 type Chan[T any] struct {
-	sim     *Simulation
-	name    string
-	cap     int
-	latency Time
-	q       []item[T]
-	closed  bool
-
-	recvWaiter *Process
-	sendWaiter *Process
-
-	// Stats.
-	nSent, nRecv int64
-	lastSend     Time
+	core chanCore
+	vals []T
 }
 
 // NewChan creates a channel. cap must be >= 1.
@@ -34,174 +144,73 @@ func NewChan[T any](sim *Simulation, name string, capacity int, latency Time) *C
 	if capacity < 1 {
 		panic(fmt.Sprintf("des: channel %q capacity must be >= 1", name))
 	}
-	return &Chan[T]{sim: sim, name: name, cap: capacity, latency: latency}
+	c := &Chan[T]{vals: make([]T, capacity)}
+	c.core.init(sim, name, capacity, latency)
+	return c
 }
 
 // Name returns the channel name.
-func (c *Chan[T]) Name() string { return c.name }
+func (c *Chan[T]) Name() string { return c.core.name }
 
 // Sent returns the number of elements sent so far.
-func (c *Chan[T]) Sent() int64 { return c.nSent }
+func (c *Chan[T]) Sent() int64 { return c.core.nSent }
+
+// BindSender declares p as the channel's only sending process. The
+// parallel engine requires the binding on any channel used by Select (the
+// sender's local clock is the channel's conservative time frontier); the
+// sequential engine uses it only for earlier misuse diagnostics.
+func (c *Chan[T]) BindSender(p *Process) *Chan[T] { c.core.sender.Store(p); return c }
+
+// BindRecver declares p as the channel's only receiving process.
+func (c *Chan[T]) BindRecver(p *Process) *Chan[T] { c.core.recver.Store(p); return c }
 
 // Send enqueues v, blocking the process while the channel is full.
 func (c *Chan[T]) Send(p *Process, v T) {
-	if c.closed {
-		panic(fmt.Sprintf("des: send on closed channel %q", c.name))
-	}
-	for len(c.q) >= c.cap {
-		if c.sendWaiter != nil && c.sendWaiter != p {
-			panic(fmt.Sprintf("des: channel %q has two senders", c.name))
-		}
-		c.sendWaiter = p
-		p.yield("send " + c.name)
-		c.sendWaiter = nil
-		if c.closed {
-			panic(fmt.Sprintf("des: send on closed channel %q", c.name))
-		}
-	}
-	c.sim.chanSeq++
-	it := item[T]{v: v, ready: c.sim.now + c.latency, seq: c.sim.chanSeq}
-	c.q = append(c.q, it)
-	c.nSent++
-	c.lastSend = c.sim.now
-	if w := c.recvWaiter; w != nil {
-		c.sim.schedule(it.ready, w, w.episode)
-	}
+	slot := p.sim.eng.sendReserve(&c.core, p)
+	c.vals[slot] = v
+	p.sim.eng.sendPublish(&c.core, p)
 }
 
 // Recv dequeues the next element. ok is false when the channel is closed
 // and drained. The process blocks until an element is visible.
 func (c *Chan[T]) Recv(p *Process) (T, bool) {
-	for {
-		if len(c.q) > 0 {
-			head := c.q[0]
-			if head.ready > c.sim.now {
-				// Sleep until the head becomes visible.
-				c.sim.schedule(head.ready, p, p.episode+1)
-				p.yield("recv-latency " + c.name)
-				continue
-			}
-			c.q = c.q[1:]
-			c.nRecv++
-			if w := c.sendWaiter; w != nil {
-				c.sim.schedule(c.sim.now, w, w.episode)
-			}
-			return head.v, true
-		}
-		if c.closed {
-			var zero T
-			return zero, false
-		}
-		if c.recvWaiter != nil && c.recvWaiter != p {
-			panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
-		}
-		c.recvWaiter = p
-		p.yield("recv " + c.name)
-		c.recvWaiter = nil
+	slot, ok := p.sim.eng.recvWait(&c.core, p)
+	if !ok {
+		var zero T
+		return zero, false
 	}
+	v := c.vals[slot]
+	var zero T
+	c.vals[slot] = zero
+	p.sim.eng.recvRelease(&c.core, p)
+	return v, true
 }
 
-// Close marks the channel closed. The parked receiver (if any) is woken so
-// it can observe the close.
-func (c *Chan[T]) Close(p *Process) {
-	if c.closed {
-		panic(fmt.Sprintf("des: double close of channel %q", c.name))
-	}
-	c.closed = true
-	if w := c.recvWaiter; w != nil {
-		c.sim.schedule(c.sim.now, w, w.episode)
-	}
-}
+// Close marks the channel closed. Parked receivers — and parked senders,
+// which then observe the canonical "send on closed channel" panic instead
+// of a deadlock — are woken so they can see the close.
+func (c *Chan[T]) Close(p *Process) { p.sim.eng.closeChan(&c.core, p) }
 
 // Selectable is the type-erased channel view used by Select.
 type Selectable interface {
-	// headReady returns, if an element is queued, its visibility time and
-	// arrival sequence number.
-	headReady() (Time, uint64, bool)
-	// drained reports closed-and-empty.
-	drained() bool
-	setRecvWaiter(p *Process)
-	clearRecvWaiter(p *Process)
-	simOf() *Simulation
+	chanCoreOf() *chanCore
 }
 
-func (c *Chan[T]) headReady() (Time, uint64, bool) {
-	if len(c.q) == 0 {
-		return 0, 0, false
-	}
-	return c.q[0].ready, c.q[0].seq, true
-}
-
-func (c *Chan[T]) drained() bool { return c.closed && len(c.q) == 0 }
-
-func (c *Chan[T]) setRecvWaiter(p *Process) {
-	if c.recvWaiter != nil && c.recvWaiter != p {
-		panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
-	}
-	c.recvWaiter = p
-}
-
-func (c *Chan[T]) clearRecvWaiter(p *Process) {
-	if c.recvWaiter == p {
-		c.recvWaiter = nil
-	}
-}
-
-func (c *Chan[T]) simOf() *Simulation { return c.sim }
+func (c *Chan[T]) chanCoreOf() *chanCore { return &c.core }
 
 // Select blocks until one of the channels has a visible element, advancing
-// time as needed, and returns its index. Elements are chosen by earliest
-// visibility time, breaking ties by arrival order, so Select implements the
-// "in the order the input is available" semantics of EagerMerge. It returns
+// time as needed, and returns its index. The earliest-visible head wins;
+// ties at the same visibility time resolve to the lowest index in the call,
+// so Select implements the "in the order the input is available"
+// semantics of EagerMerge deterministically in both engines. It returns
 // -1 when every channel is closed and drained.
 func Select(p *Process, chans ...Selectable) int {
 	if len(chans) == 0 {
 		return -1
 	}
-	sim := chans[0].simOf()
-	for {
-		best := -1
-		var bestAt Time
-		var bestSeq uint64
-		allDrained := true
-		for i, c := range chans {
-			if !c.drained() {
-				allDrained = false
-			}
-			at, seq, ok := c.headReady()
-			if !ok {
-				continue
-			}
-			if best == -1 || at < bestAt || (at == bestAt && seq < bestSeq) {
-				best, bestAt, bestSeq = i, at, seq
-			}
-		}
-		if best >= 0 {
-			if bestAt > sim.now {
-				// Wait until the earliest head is visible, but remain
-				// wakeable by earlier arrivals on the other channels.
-				for _, c := range chans {
-					c.setRecvWaiter(p)
-				}
-				sim.schedule(bestAt, p, p.episode+1)
-				p.yield("select-latency")
-				for _, c := range chans {
-					c.clearRecvWaiter(p)
-				}
-				continue
-			}
-			return best
-		}
-		if allDrained {
-			return -1
-		}
-		// Nothing queued anywhere: park on all channels.
-		for _, c := range chans {
-			c.setRecvWaiter(p)
-		}
-		p.yield("select")
-		for _, c := range chans {
-			c.clearRecvWaiter(p)
-		}
+	cores := make([]*chanCore, len(chans))
+	for i, ch := range chans {
+		cores[i] = ch.chanCoreOf()
 	}
+	return p.sim.eng.sel(p, cores)
 }

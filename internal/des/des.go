@@ -4,15 +4,31 @@
 // processes (dataflow blocks) communicating over bounded, latency-annotated
 // FIFO channels with backpressure.
 //
-// Exactly one process runs at a time; the scheduler dispatches wake events
-// in (time, sequence) order, so simulations are bit-for-bit reproducible
-// regardless of goroutine scheduling. Processes are plain Go functions
-// running on goroutines that cooperatively yield back to the scheduler
-// whenever they advance time or block on a channel.
+// Two engines implement the same virtual-time semantics:
+//
+//   - The sequential engine (New, or NewWithWorkers(n) with n <= 1) runs
+//     exactly one process at a time; a central scheduler dispatches wake
+//     events in (time, sequence) order. This is the reference engine.
+//
+//   - The parallel engine (NewWithWorkers(n) with n >= 2) is DAM-style
+//     conservative parallel simulation: every process owns a *local* clock
+//     and runs on its own goroutine; channels bridge time between
+//     processes (a receiver adopts max(its clock, head-ready time); a
+//     backpressured sender resumes at the virtual time its slot was freed,
+//     recorded per dequeue, never at a wall-clock-dependent time). Select
+//     and Serialized are the only conservative synchronization points:
+//     they wait until the senders' published frontiers (local clock +
+//     channel latency) prove that no earlier-visible element or
+//     lower-ordered critical section can still arrive.
+//
+// Both engines produce identical per-process virtual-time traces — and
+// therefore identical simulation results — for programs whose Select
+// inputs and cross-process interactions go through channels with latency
+// >= 1 (the graph executor's default). Processes are plain Go functions;
+// all Process methods must be called from the process's own goroutine.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,109 +37,115 @@ import (
 // Time is the virtual clock, in cycles.
 type Time uint64
 
-// procState tracks where a process is in its lifecycle.
-type procState int
-
-const (
-	stateReady procState = iota // spawned, not yet run
-	stateRunning
-	stateWaiting // yielded: sleeping on an event or parked on channels
-	stateFinished
-)
+// timeInf is the "never" sentinel used by the conservative engine.
+const timeInf = ^Time(0)
 
 var errAborted = errors.New("des: simulation aborted")
 
 // Process is the handle a dataflow block uses to interact with virtual
 // time. All methods must be called from the process's own goroutine.
 type Process struct {
-	sim     *Simulation
-	id      int
-	name    string
-	state   procState
-	episode uint64 // wait-episode counter; stale wake events are dropped
-	resume  chan struct{}
-	err     error
-	aborted bool
-	// blockedOn describes what the process is waiting for (diagnostics).
-	blockedOn string
+	sim  *Simulation
+	id   int
+	name string
+	fn   func(p *Process) error
+	err  error
+
+	seq seqProc // sequential-engine state
+	par parProc // parallel-engine state
 }
 
 // Name returns the process name given at spawn time.
 func (p *Process) Name() string { return p.name }
 
-// Now returns the current virtual time.
-func (p *Process) Now() Time { return p.sim.now }
+// ID returns the process's spawn index. It is the stable tie-break key
+// used to order same-cycle Serialized critical sections.
+func (p *Process) ID() int { return p.id }
+
+// Now returns the process's current virtual time. Under the sequential
+// engine this is the global clock; under the parallel engine it is the
+// process's local clock.
+func (p *Process) Now() Time { return p.sim.eng.now(p) }
 
 // Advance moves the process's view of time forward by d cycles.
 func (p *Process) Advance(d Time) {
 	if d == 0 {
 		return
 	}
-	p.sim.schedule(p.sim.now+d, p, p.episode+1)
-	p.yield("advance")
+	p.sim.eng.advance(p, d)
 }
 
 // AdvanceTo moves to an absolute time, if it is in the future.
-func (p *Process) AdvanceTo(t Time) {
-	if t > p.sim.now {
-		p.sim.schedule(t, p, p.episode+1)
-		p.yield("advance-to")
-	}
+func (p *Process) AdvanceTo(t Time) { p.sim.eng.advanceTo(p, t) }
+
+// Serialized runs fn as a globally ordered critical section: across the
+// whole simulation, Serialized bodies execute one at a time in
+// (virtual time, process ID, per-process call index) order, in both
+// engines. Shared-resource models (the HBM bus, scratchpad accounting)
+// use it so that same-cycle contention resolves identically no matter
+// which engine runs the program or how goroutines are scheduled.
+//
+// fn must not call channel operations, Advance, or Select; it should
+// only read p.Now() and mutate shared model state.
+func (p *Process) Serialized(fn func()) { p.sim.eng.serialized(p, fn) }
+
+// engine is the execution strategy behind a Simulation.
+type engine interface {
+	run() (Time, error)
+	now(p *Process) Time
+	advance(p *Process, d Time)
+	advanceTo(p *Process, t Time)
+	serialized(p *Process, fn func())
+
+	// Channel protocol. Send is two-phase so the value slot is written
+	// between reserve and publish; Recv is two-phase so the value is read
+	// out before the slot is released back to the sender.
+	sendReserve(c *chanCore, p *Process) int
+	sendPublish(c *chanCore, p *Process)
+	recvWait(c *chanCore, p *Process) (int, bool)
+	recvRelease(c *chanCore, p *Process)
+	closeChan(c *chanCore, p *Process)
+	sel(p *Process, cores []*chanCore) int
 }
 
-// yield transfers control back to the scheduler and blocks until resumed.
-func (p *Process) yield(why string) {
-	p.episode++
-	p.state = stateWaiting
-	p.blockedOn = why
-	p.sim.yielded <- p
-	<-p.resume
-	p.state = stateRunning
-	p.blockedOn = ""
-	if p.aborted {
-		panic(errAborted)
-	}
-}
-
-// event is a scheduled wake-up of a process.
-type event struct {
-	at      Time
-	seq     uint64
-	proc    *Process
-	episode uint64
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
-
-// Simulation owns the virtual clock, processes, and event queue.
+// Simulation owns the processes and the engine executing them.
 type Simulation struct {
-	now     Time
 	procs   []*Process
-	events  eventHeap
-	seq     uint64
-	chanSeq uint64
-	yielded chan *Process
+	eng     engine
+	workers int
 	started bool
+	finish  Time
 }
 
-// New creates an empty simulation.
-func New() *Simulation {
-	return &Simulation{yielded: make(chan *Process)}
+// New creates an empty simulation on the sequential reference engine.
+func New() *Simulation { return NewWithWorkers(1) }
+
+// NewWithWorkers creates an empty simulation. workers <= 1 selects the
+// sequential engine; workers >= 2 selects the DAM-style conservative
+// parallel engine (the value is advisory — the parallel engine runs one
+// goroutine per process and relies on the Go scheduler to spread them
+// over up to GOMAXPROCS cores).
+func NewWithWorkers(workers int) *Simulation {
+	s := &Simulation{workers: workers}
+	if workers > 1 {
+		s.eng = newParEngine(s)
+	} else {
+		s.eng = newSeqEngine(s)
+	}
+	return s
 }
+
+// Workers returns the worker count the simulation was created with
+// (normalized to 1 for the sequential engine).
+func (s *Simulation) Workers() int {
+	if s.workers > 1 {
+		return s.workers
+	}
+	return 1
+}
+
+// Parallel reports whether the conservative parallel engine is active.
+func (s *Simulation) Parallel() bool { return s.workers > 1 }
 
 // Spawn registers a process. The function runs when Run is called; its
 // returned error aborts the simulation. Spawn must not be called after Run.
@@ -131,33 +153,9 @@ func (s *Simulation) Spawn(name string, fn func(p *Process) error) *Process {
 	if s.started {
 		panic("des: Spawn after Run")
 	}
-	p := &Process{sim: s, id: len(s.procs), name: name, resume: make(chan struct{})}
+	p := &Process{sim: s, id: len(s.procs), name: name, fn: fn}
 	s.procs = append(s.procs, p)
-	go func() {
-		<-p.resume
-		p.state = stateRunning
-		defer func() {
-			if r := recover(); r != nil {
-				if err, ok := r.(error); ok && errors.Is(err, errAborted) {
-					p.err = nil // aborted externally, not its own fault
-				} else {
-					p.err = fmt.Errorf("des: process %q panicked: %v", p.name, r)
-				}
-			}
-			p.state = stateFinished
-			s.yielded <- p
-		}()
-		if p.aborted {
-			panic(errAborted)
-		}
-		p.err = fn(p)
-	}()
 	return p
-}
-
-func (s *Simulation) schedule(at Time, p *Process, episode uint64) {
-	s.seq++
-	s.events.pushEvent(event{at: at, seq: s.seq, proc: p, episode: episode})
 }
 
 // Run executes the simulation to completion and returns the final virtual
@@ -168,92 +166,41 @@ func (s *Simulation) Run() (Time, error) {
 		panic("des: Run called twice")
 	}
 	s.started = true
-	heap.Init(&s.events)
-	// Seed: every process starts at time 0 in spawn order.
-	for _, p := range s.procs {
-		s.schedule(0, p, 0)
-	}
-	live := len(s.procs)
-	var firstErr error
-	var finish Time
-	for live > 0 {
-		// Find the next valid event.
-		var ev event
-		valid := false
-		for s.events.Len() > 0 {
-			ev = s.events.popEvent()
-			p := ev.proc
-			if p.state == stateFinished || p.state == stateRunning {
-				continue
-			}
-			// Episode 0 events are the initial dispatch; otherwise the
-			// episode must match the process's current wait episode.
-			if ev.episode != 0 && ev.episode != p.episode {
-				continue
-			}
-			valid = true
-			break
-		}
-		if !valid {
-			// No runnable process: deadlock.
-			firstErr = s.deadlockError()
-			break
-		}
-		if ev.at > s.now {
-			s.now = ev.at
-		}
-		p := ev.proc
-		p.resume <- struct{}{}
-		q := <-s.yielded
-		if q.state == stateFinished {
-			live--
-			if s.now > finish {
-				finish = s.now
-			}
-			if q.err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("process %q: %w", q.name, q.err)
-			}
-		}
-		if firstErr != nil {
-			break
-		}
-	}
-	// Abort any processes still alive (error or deadlock path).
-	for _, p := range s.procs {
-		if p.state == stateFinished {
-			continue
-		}
-		p.aborted = true
-		p.resume <- struct{}{}
-		for {
-			q := <-s.yielded
-			if q == p && q.state == stateFinished {
-				break
-			}
-			// Another process finished in the interim; just continue.
-			if q.state != stateFinished {
-				// It yielded again (shouldn't happen when aborted), resume.
-				q.aborted = true
-				q.resume <- struct{}{}
-			}
-		}
-	}
-	if finish < s.now {
-		finish = s.now
-	}
-	return finish, firstErr
+	finish, err := s.eng.run()
+	s.finish = finish
+	return finish, err
 }
 
-func (s *Simulation) deadlockError() error {
-	var stuck []string
-	for _, p := range s.procs {
-		if p.state != stateFinished {
-			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
-		}
+// Now returns the final virtual time after Run (and, for the sequential
+// engine, the scheduler's current time during a run).
+func (s *Simulation) Now() Time {
+	if seq, ok := s.eng.(*seqEngine); ok {
+		return seq.nowT
 	}
-	sort.Strings(stuck)
-	return fmt.Errorf("des: deadlock at t=%d; blocked processes: %v", s.now, stuck)
+	return s.finish
 }
 
-// Now returns the scheduler's current time (for inspection after Run).
-func (s *Simulation) Now() Time { return s.now }
+// deadlockError formats the canonical deadlock report from the blocked
+// processes' diagnostic descriptions.
+func deadlockError(at Time, blocked []string) error {
+	sort.Strings(blocked)
+	return fmt.Errorf("des: deadlock at t=%d; blocked processes: %v", at, blocked)
+}
+
+// procError wraps a process's own failure.
+func procError(p *Process) error {
+	return fmt.Errorf("process %q: %w", p.name, p.err)
+}
+
+// recoverAsError converts a recovered panic value into the process error,
+// keeping engine-initiated aborts silent.
+func recoverAsError(p *Process, r any) {
+	if r == nil {
+		return
+	}
+	if err, ok := r.(error); ok && errors.Is(err, errAborted) {
+		p.err = nil // aborted externally, not its own fault
+		return
+	}
+	p.err = fmt.Errorf("des: process %q panicked: %v", p.name, r)
+}

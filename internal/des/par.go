@@ -1,0 +1,1287 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// parkKind classifies why a parallel-engine process is blocked.
+type parkKind uint8
+
+const (
+	parkNone    parkKind = iota
+	parkRecv             // waiting for an element or close
+	parkSend             // waiting for a freed slot (backpressure) or close
+	parkSel              // waiting for a committable Select decision
+	parkReq              // waiting for a Serialized grant
+	parkGranted          // granted, running (or about to run) its critical section
+)
+
+// parProc is the parallel-engine per-process state.
+//
+// clock is the process's local virtual clock. It is written by the owning
+// goroutine (Advance, channel time bridging) and, while the process is
+// parked, lifted upward by the evaluator to conservative lower bounds of
+// its next action time — lifts are always <= the value the process would
+// adopt on wake, so they never change semantics, only unblock
+// conservative waiters (Select frontiers, Serialized grants) earlier.
+type parProc struct {
+	clock atomic.Uint64
+
+	procMu  sync.Mutex
+	cond    *sync.Cond
+	wakeGen uint64
+
+	// Guarded by parEngine.stateMu.
+	kind          parkKind
+	parkCh        *chanCore   // parkRecv / parkSend
+	parkSels      []*chanCore // parkSel
+	parkNeed      int64       // parkSend: the nRecv count being waited for
+	watchT        Time        // parkSel: frontier threshold blocking a commit
+	reqT          Time        // parkReq: request time
+	reqSeq        uint64      // parkReq: per-process request index
+	selDecided    bool        // cached Select decision for one kick
+	selDecidedVer uint64      // kick version the cache belongs to
+	finished      bool        // guarded by stateMu; finishedA mirrors it lock-free
+	finishedA     atomic.Bool
+	finishClock   Time
+	blockedOn     string
+
+	serSeq uint64 // owned by the process goroutine
+}
+
+func (pp *parProc) snapshotGen() uint64 {
+	pp.procMu.Lock()
+	g := pp.wakeGen
+	pp.procMu.Unlock()
+	return g
+}
+
+// parEngine is the DAM-style conservative parallel engine: one goroutine
+// per process, per-channel mutex/condvar synchronization, and a global
+// evaluator (kick) that computes conservative next-action bounds to order
+// Serialized critical sections, commit Selects, and detect deadlock.
+type parEngine struct {
+	sim *Simulation
+
+	stateMu        sync.Mutex
+	running        int // processes not parked (includes granted)
+	live           int // processes not finished
+	pending        serHeap
+	grantsInFlight int
+	deadlock       error
+	aborting       bool
+
+	watchMin  atomic.Uint64
+	abortFlag atomic.Bool
+
+	wg sync.WaitGroup
+
+	// blockers counts processes whose clocks sit at or below watchMin;
+	// only the last one to cross (or park, or finish) re-kicks the
+	// evaluator, so clock advances are cheap while a wait is pending.
+	// Clamped at zero: spurious decrements (processes that became
+	// blockers after the last count) at worst cause an extra kick, which
+	// recounts, never a missed one.
+	blockers atomic.Int64
+
+	// selParkedList tracks processes parked in Select (stateMu).
+	selParkedList []*Process
+	// lastWM is the threshold the blockers count was taken against
+	// (stateMu); the O(procs) recount runs only when the threshold moves.
+	lastWM Time
+	// kickVer versions the per-kick selector-decision cache (stateMu).
+	kickVer uint64
+
+	// Scratch buffers for the evaluator, reused across kicks.
+	bndVal   []Time
+	bndSet   []uint64 // settled-version stamps
+	bndVis   []uint64 // visited-version stamps
+	bndVer   uint64
+	bndRev   [][]int
+	bndStack []int
+	bndPQ    boundPQ
+}
+
+func newParEngine(s *Simulation) *parEngine {
+	e := &parEngine{sim: s}
+	e.watchMin.Store(uint64(timeInf))
+	return e
+}
+
+func clockOf(p *Process) Time { return Time(p.par.clock.Load()) }
+
+func (e *parEngine) now(p *Process) Time { return clockOf(p) }
+
+// liftClock raises p's local clock to at least t and kicks the evaluator
+// when the new value crosses the published watch threshold.
+func (e *parEngine) liftClock(p *Process, t Time) {
+	pp := &p.par
+	for {
+		old := pp.clock.Load()
+		if uint64(t) <= old {
+			return
+		}
+		if pp.clock.CompareAndSwap(old, uint64(t)) {
+			wm := e.watchMin.Load()
+			if old <= wm && uint64(t) > wm && e.noteBlockerGone() {
+				e.stateMu.Lock()
+				e.kick()
+				e.stateMu.Unlock()
+			}
+			return
+		}
+	}
+}
+
+// liftClockRaw is liftClock without the kick, for use inside the evaluator
+// (which already holds stateMu).
+func liftClockRaw(p *Process, t Time) {
+	pp := &p.par
+	for {
+		old := pp.clock.Load()
+		if uint64(t) <= old {
+			return
+		}
+		if pp.clock.CompareAndSwap(old, uint64(t)) {
+			return
+		}
+	}
+}
+
+func (e *parEngine) checkAbort() {
+	if e.abortFlag.Load() {
+		panic(errAborted)
+	}
+}
+
+func (e *parEngine) advance(p *Process, d Time) {
+	e.checkAbort()
+	e.liftClock(p, clockOf(p)+d)
+}
+
+func (e *parEngine) advanceTo(p *Process, t Time) {
+	e.checkAbort()
+	e.liftClock(p, t)
+}
+
+// signal wakes a process parked on its personal condition.
+func (e *parEngine) signal(p *Process) {
+	pp := &p.par
+	pp.procMu.Lock()
+	pp.wakeGen++
+	pp.cond.Broadcast()
+	pp.procMu.Unlock()
+}
+
+// waitGen blocks until the wake generation moves past g0 or the
+// simulation aborts.
+func (e *parEngine) waitGen(p *Process, g0 uint64) {
+	pp := &p.par
+	pp.procMu.Lock()
+	for pp.wakeGen == g0 && !e.abortFlag.Load() {
+		pp.cond.Wait()
+	}
+	pp.procMu.Unlock()
+}
+
+// parkProc registers p as blocked. set fills the kind-specific fields.
+func (e *parEngine) parkProc(p *Process, kind parkKind, desc string, set func(pp *parProc)) {
+	e.stateMu.Lock()
+	pp := &p.par
+	pp.kind = kind
+	pp.blockedOn = desc
+	if set != nil {
+		set(pp)
+	}
+	e.running--
+	// A parking process stops being a blocker for whatever the evaluator
+	// is waiting on; the last one out re-evaluates. (Decrement before the
+	// running==0 check so the count never stays inflated.)
+	wasLast := uint64(clockOf(p)) <= e.watchMin.Load() && e.noteBlockerGone()
+	if e.running == 0 || wasLast {
+		e.kick()
+	}
+	e.stateMu.Unlock()
+}
+
+// noteBlockerGone decrements the blocker count, clamped at zero, and
+// reports whether this was the last blocker (the caller should kick).
+func (e *parEngine) noteBlockerGone() bool {
+	for {
+		v := e.blockers.Load()
+		if v <= 0 {
+			return false
+		}
+		if e.blockers.CompareAndSwap(v, v-1) {
+			return v == 1
+		}
+	}
+}
+
+func (e *parEngine) unparkProc(p *Process) {
+	e.stateMu.Lock()
+	pp := &p.par
+	pp.kind = parkNone
+	pp.blockedOn = ""
+	pp.parkCh = nil
+	pp.parkSels = nil
+	e.running++
+	e.stateMu.Unlock()
+}
+
+func (e *parEngine) run() (Time, error) {
+	procs := e.sim.procs
+	e.live = len(procs)
+	e.running = len(procs)
+	for _, p := range procs {
+		p.par.cond = sync.NewCond(&p.par.procMu)
+	}
+	e.wg.Add(len(procs))
+	for _, p := range procs {
+		p := p
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				recoverAsError(p, recover())
+				e.finishProc(p)
+			}()
+			e.checkAbort()
+			p.err = p.fn(p)
+		}()
+	}
+	e.wg.Wait()
+
+	// Deterministic error selection: the erroring process with the lowest
+	// (finish clock, spawn id) wins, mirroring the sequential engine's
+	// earliest-failure-first report.
+	var failed *Process
+	for _, p := range procs {
+		if p.err == nil {
+			continue
+		}
+		if failed == nil || p.par.finishClock < failed.par.finishClock ||
+			(p.par.finishClock == failed.par.finishClock && p.id < failed.id) {
+			failed = p
+		}
+	}
+	var finish Time
+	for _, p := range procs {
+		if p.par.finishClock > finish {
+			finish = p.par.finishClock
+		}
+	}
+	switch {
+	case failed != nil:
+		return failed.par.finishClock, procError(failed)
+	case e.deadlock != nil:
+		return finish, e.deadlock
+	default:
+		return finish, nil
+	}
+}
+
+func (e *parEngine) finishProc(p *Process) {
+	e.stateMu.Lock()
+	pp := &p.par
+	if pp.kind == parkNone || pp.kind == parkGranted {
+		e.running--
+	}
+	pp.kind = parkNone
+	pp.finished = true
+	pp.finishClock = clockOf(p)
+	pp.finishedA.Store(true)
+	e.live--
+	// A finishing process stops blocking whatever the evaluator waits on.
+	if uint64(pp.finishClock) <= e.watchMin.Load() {
+		e.noteBlockerGone()
+	}
+	abort := p.err != nil && !e.aborting
+	if abort {
+		e.aborting = true
+		e.abortFlag.Store(true)
+	}
+	if abort || e.live > 0 {
+		if abort {
+			e.signalAllLocked()
+		} else {
+			e.kick()
+		}
+	}
+	e.stateMu.Unlock()
+}
+
+// signalAllLocked wakes every process so parked ones observe the abort.
+// Every park kind (recv, send, select, serialized) waits on the process's
+// personal condition, so one signal per process suffices.
+func (e *parEngine) signalAllLocked() {
+	for _, q := range e.sim.procs {
+		if !q.par.finished {
+			e.signal(q)
+		}
+	}
+}
+
+func (e *parEngine) triggerDeadlock() {
+	var stuck []string
+	var at Time
+	for _, p := range e.sim.procs {
+		if c := clockOf(p); c > at && !p.par.finished {
+			at = c
+		}
+		if !p.par.finished {
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.par.blockedOn))
+		}
+	}
+	e.deadlock = deadlockError(at, stuck)
+	e.aborting = true
+	e.abortFlag.Store(true)
+	e.signalAllLocked()
+}
+
+// --- Serialized --------------------------------------------------------
+
+func (e *parEngine) serialized(p *Process, fn func()) {
+	e.checkAbort()
+	pp := &p.par
+	t := clockOf(p)
+	req := serReq{t: t, pid: p.id, seq: pp.serSeq, p: p}
+	pp.serSeq++
+	g0, fast := e.serEnqueueOrRunFast(req, fn)
+	if fast {
+		return
+	}
+	e.waitGen(p, g0)
+	if e.abortFlag.Load() {
+		panic(errAborted)
+	}
+	e.serRunGranted(pp, fn)
+}
+
+// serEnqueueOrRunFast runs fn inline when the request is first in
+// (time, pid, seq) order beyond doubt — stateMu is held across fn, so
+// critical sections are totally ordered even against concurrently granted
+// requests — or enqueues it and registers the caller as parked. stateMu
+// is released via defer so a panicking critical section unwinds into the
+// normal process-error path instead of wedging the engine.
+func (e *parEngine) serEnqueueOrRunFast(req serReq, fn func()) (g0 uint64, fast bool) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.fastGrantable(req) {
+		fn()
+		return 0, true
+	}
+	pp := &req.p.par
+	heap.Push(&e.pending, req)
+	pp.kind = parkReq
+	pp.reqT = req.t
+	pp.reqSeq = req.seq
+	pp.blockedOn = "serialized"
+	e.running--
+	// The requester stops being a counted blocker (it is ordered by the
+	// pending heap from here on); without this the cheap grant refutation
+	// could trust a permanently inflated count.
+	if uint64(req.t) <= e.watchMin.Load() {
+		e.noteBlockerGone()
+	}
+	g0 = pp.snapshotGen()
+	e.kick()
+	return g0, false
+}
+
+// serRunGranted runs the granted critical section (kind is parkGranted).
+// The deferred cleanup keeps the engine consistent even when fn panics:
+// the process then finishes as a normal error, not a wedged lock holder.
+func (e *parEngine) serRunGranted(pp *parProc, fn func()) {
+	e.stateMu.Lock()
+	defer func() {
+		pp.kind = parkNone
+		pp.blockedOn = ""
+		e.grantsInFlight--
+		e.stateMu.Unlock()
+	}()
+	fn()
+}
+
+// fastGrantable reports whether req is trivially first: no queued or
+// in-flight critical section, and every other live process's local clock
+// has already passed req.t. Callers hold stateMu.
+func (e *parEngine) fastGrantable(req serReq) bool {
+	if len(e.pending) > 0 || e.grantsInFlight > 0 {
+		return false
+	}
+	for _, q := range e.sim.procs {
+		if q == req.p || q.par.finished {
+			continue
+		}
+		if clockOf(q) <= req.t {
+			return false
+		}
+	}
+	return true
+}
+
+// --- the evaluator -----------------------------------------------------
+
+// kick is the conservative evaluator. Callers hold stateMu. It
+//
+//  1. computes, for every process, a lower bound on the virtual time of
+//     its next externally visible action (Dijkstra over the wait graph,
+//     with local clocks as floors and channel latencies as edge weights),
+//  2. lifts parked processes' clocks to those bounds (time bridging),
+//  3. grants the lowest pending Serialized request whose order can no
+//     longer be usurped,
+//  4. wakes parked Selects whose conservative decision rule now commits,
+//  5. detects genuine deadlock when nothing can ever progress again, and
+//  6. republishes the watch threshold that makes clock advances re-kick.
+func (e *parEngine) kick() {
+	if e.aborting || e.live == 0 {
+		return
+	}
+	procs := e.sim.procs
+	// Publish a conservative watch threshold before reading any clocks:
+	// a clock advance racing with this evaluation then either sees the
+	// threshold (and re-kicks) or is visible to the reads below.
+	e.watchMin.Store(uint64(e.watchFloor()))
+
+	progress := false
+	e.kickVer++
+
+	// Grant at most one request per kick: a granted section runs at its
+	// request time, so a second same-cycle grant could not be validated
+	// until the first grantee's clock moves anyway.
+	if e.tryGrant(false) {
+		progress = true
+	}
+
+	// Run the expensive frontier analysis (bound propagation + selector
+	// decisions) only when a Select is the earliest pending wait —
+	// otherwise the earlier-in-virtual-time grant traffic re-kicks us
+	// here as soon as the queue drains down to the selector.
+	selsEvald := false
+	if e.selIsEarliestWait() {
+		if e.evalSelectors(e.computeBounds()) {
+			progress = true
+		}
+		selsEvald = true
+	}
+
+	if !progress && e.running == 0 && e.live > 0 {
+		// Authoritative pass before declaring deadlock: the cheap paths
+		// above may have trusted a stale blocker count or skipped the
+		// frontier analysis.
+		if !selsEvald && e.evalSelectors(e.computeBounds()) {
+			progress = true
+		}
+		if !progress && !e.tryGrant(true) && !e.anyParkedEligible() {
+			e.triggerDeadlock()
+			return
+		}
+	}
+
+	// Republish the watch threshold — the smallest virtual time a foreign
+	// clock advance could unblock — and count the processes still at or
+	// below it. Each of those eventually crosses it, parks below it, or
+	// finishes, and the last one to do so re-kicks; everyone else's clock
+	// advances stay cheap. The count is maintained incrementally between
+	// kicks and recounted only when the threshold moves, or when a kick
+	// made no progress with a drained counter (the counter is clamped and
+	// approximate; waits must never be left without a pending trigger).
+	wm := e.watchFloor()
+	e.watchMin.Store(uint64(wm))
+	stillWaiting := len(e.pending) > 0 || len(e.selParkedList) > 0
+	if wm != e.lastWM || (stillWaiting && wm != timeInf && e.blockers.Load() <= 0) {
+		var blockers int64
+		if wm != timeInf {
+			for _, q := range procs {
+				if q.par.finished || clockOf(q) > wm {
+					continue
+				}
+				switch q.par.kind {
+				case parkNone, parkGranted:
+					blockers++
+				case parkRecv, parkSend, parkSel:
+					if e.parkedEligible(q) {
+						blockers++
+					}
+				}
+			}
+		}
+		e.blockers.Store(blockers)
+		e.lastWM = wm
+	}
+}
+
+// watchFloor is the smallest virtual time a foreign clock advance could
+// unblock: the lowest pending request time or select commit threshold.
+// Callers hold stateMu.
+func (e *parEngine) watchFloor() Time {
+	wm := timeInf
+	if len(e.pending) > 0 && e.pending[0].t < wm {
+		wm = e.pending[0].t
+	}
+	for _, p := range e.selParkedList {
+		if p.par.watchT < wm {
+			wm = p.par.watchT
+		}
+	}
+	return wm
+}
+
+// selIsEarliestWait reports whether some parked Select's commit threshold
+// is at or before every pending Serialized request.
+func (e *parEngine) selIsEarliestWait() bool {
+	if len(e.selParkedList) == 0 {
+		return false
+	}
+	if len(e.pending) == 0 {
+		return true
+	}
+	for _, p := range e.selParkedList {
+		if p.par.watchT <= e.pending[0].t {
+			return true
+		}
+	}
+	return false
+}
+
+// evalSelectors re-runs the decision rule for every parked Select with
+// evaluator bounds, signaling the decidable ones. The decisions are
+// cached for this kick's eligibility checks.
+func (e *parEngine) evalSelectors(bounds []Time) bool {
+	progress := false
+	for _, p := range e.selParkedList {
+		_, _, decided := e.selDecision(p.par.parkSels, bounds)
+		p.par.selDecided = decided
+		p.par.selDecidedVer = e.kickVer
+		if decided {
+			e.signal(p)
+			progress = true
+		}
+	}
+	return progress
+}
+
+// tryGrant grants the lowest pending request if its order can no longer
+// be usurped. A positive blocker count taken against exactly the
+// request's time refutes the grant without rescanning, unless force is
+// set (the scan in grantable is the authoritative check).
+func (e *parEngine) tryGrant(force bool) bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	req := e.pending[0]
+	if !force && e.lastWM == req.t && e.blockers.Load() > 0 {
+		return false
+	}
+	if !e.grantable(req) {
+		return false
+	}
+	heap.Pop(&e.pending)
+	pp := &req.p.par
+	pp.kind = parkGranted
+	pp.blockedOn = ""
+	e.running++
+	e.grantsInFlight++
+	e.signal(req.p)
+	return true
+}
+
+// grantable checks that no other process can still begin a Serialized
+// section ordered before req. Non-eligible parked processes are exempt:
+// any future action of theirs is caused by a process that is checked here,
+// and therefore ordered after the grant. Eligible parked processes (wake
+// in flight) are held to the same raw-clock test as running ones — they
+// resume shortly and re-enable the grant via their own clock advance.
+func (e *parEngine) grantable(req serReq) bool {
+	if e.grantsInFlight > 0 {
+		return false
+	}
+	for _, q := range e.sim.procs {
+		if q == req.p || q.par.finished {
+			continue
+		}
+		pp := &q.par
+		switch pp.kind {
+		case parkReq:
+			if !serLess(req, serReq{t: pp.reqT, pid: q.id, seq: pp.reqSeq}) {
+				return false
+			}
+		case parkRecv, parkSend:
+			if clockOf(q) <= req.t && e.parkedEligible(q) {
+				return false
+			}
+		case parkSel:
+			// A parked selector is special: even while undecided, it can
+			// later commit at the ready time of an element it ALREADY
+			// holds — a virtual time possibly at or before req.t — once a
+			// frontier catches up. Old elements at or before req.t
+			// therefore block the grant outright; new elements can only
+			// arrive from senders this scan already requires to be past
+			// req.t.
+			if clockOf(q) <= req.t && e.selMinHead(q.par.parkSels) <= req.t {
+				return false
+			}
+		default: // running or granted
+			if clockOf(q) <= req.t {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// selMinHead returns the earliest visibility time among elements already
+// queued on the select's channels (timeInf when none).
+func (e *parEngine) selMinHead(cores []*chanCore) Time {
+	best := timeInf
+	for _, c := range cores {
+		if hr := Time(c.headReadyA.Load()); hr < best {
+			best = hr
+		}
+	}
+	return best
+}
+
+// parkedEligible reports whether a parked process's wake condition is
+// already satisfied (a wake signal is in flight or imminent).
+func (e *parEngine) parkedEligible(q *Process) bool {
+	pp := &q.par
+	switch pp.kind {
+	case parkRecv:
+		c := pp.parkCh
+		return Time(c.headReadyA.Load()) != timeInf || c.closedA.Load()
+	case parkSend:
+		c := pp.parkCh
+		return c.nRecvA.Load() >= pp.parkNeed || c.closedA.Load()
+	case parkSel:
+		if pp.selDecidedVer == e.kickVer {
+			return pp.selDecided
+		}
+		_, _, decided := e.selDecision(pp.parkSels, nil)
+		pp.selDecided = decided
+		pp.selDecidedVer = e.kickVer
+		return decided
+	default:
+		return false
+	}
+}
+
+func (e *parEngine) anyParkedEligible() bool {
+	for _, q := range e.sim.procs {
+		if q.par.finished {
+			continue
+		}
+		switch q.par.kind {
+		case parkRecv, parkSend, parkSel:
+			if e.parkedEligible(q) {
+				return true
+			}
+		case parkGranted, parkNone:
+			// Signaled or running; progress is in flight.
+			return true
+		}
+	}
+	return false
+}
+
+// boundPQ is the evaluator's lazy priority queue (manual heap: the
+// container/heap interface would box every item).
+type boundItem struct {
+	val Time
+	pid int
+}
+type boundPQ []boundItem
+
+func (h *boundPQ) push(it boundItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].val <= (*h)[i].val {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *boundPQ) pop() boundItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].val < old[small].val {
+			small = l
+		}
+		if r < n && old[r].val < old[small].val {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// computeBounds solves, as a least fixpoint, the per-process next-action
+// lower bounds
+//
+//	B(q) = max(clock_q, wake-bound from what q is parked on)
+//
+// where a channel's forward bound is min(head ready, close time,
+// sender bound + latency). Dijkstra with per-node floors: processes settle
+// in increasing bound order, so latency-0 cycles terminate and genuinely
+// stuck subgraphs settle at infinity. Parked processes' clocks are lifted
+// to their bounds (safe: a bound never exceeds the clock value the
+// process adopts when it actually wakes).
+func (e *parEngine) computeBounds() []Time {
+	procs := e.sim.procs
+	n := len(procs)
+	if cap(e.bndVal) < n {
+		e.bndVal = make([]Time, n)
+		e.bndSet = make([]uint64, n)
+		e.bndVis = make([]uint64, n)
+		e.bndRev = make([][]int, n)
+	}
+	val := e.bndVal[:n]
+	set := e.bndSet[:n]
+	vis := e.bndVis[:n]
+	rev := e.bndRev[:n]
+	e.bndVer++
+	ver := e.bndVer
+	stack := e.bndStack[:0]
+
+	// Collect only the sub-graph that can influence a parked Select: the
+	// empty-open channels' senders, transitively through parked processes.
+	push := func(q *Process) {
+		if q != nil && vis[q.id] != ver {
+			vis[q.id] = ver
+			rev[q.id] = rev[q.id][:0]
+			stack = append(stack, q.id)
+		}
+	}
+	for _, p := range e.selParkedList {
+		for _, c := range p.par.parkSels {
+			if Time(c.headReadyA.Load()) == timeInf && !c.closedA.Load() {
+				push(c.sender.Load())
+			}
+		}
+	}
+	dep := func(on *Process, dependent int) {
+		push(on)
+		if on != nil {
+			rev[on.id] = append(rev[on.id], dependent)
+		}
+	}
+	for i := 0; i < len(stack); i++ {
+		q := procs[stack[i]]
+		switch q.par.kind {
+		case parkRecv:
+			dep(q.par.parkCh.sender.Load(), q.id)
+		case parkSend:
+			dep(q.par.parkCh.recver.Load(), q.id)
+		case parkSel:
+			for _, c := range q.par.parkSels {
+				dep(c.sender.Load(), q.id)
+			}
+		}
+	}
+	e.bndStack = stack
+
+	// Settle base nodes, then seed parked tentatives from them.
+	for _, id := range stack {
+		q := procs[id]
+		pp := &q.par
+		switch {
+		case pp.finished:
+			val[id] = timeInf
+			set[id] = ver
+		case pp.kind == parkReq:
+			val[id] = pp.reqT
+			set[id] = ver
+		case pp.kind == parkNone || pp.kind == parkGranted:
+			val[id] = clockOf(q)
+			set[id] = ver
+		}
+	}
+	pq := e.bndPQ[:0]
+	for _, id := range stack {
+		q := procs[id]
+		switch q.par.kind {
+		case parkRecv, parkSend, parkSel:
+			if set[id] == ver {
+				continue
+			}
+			val[id] = e.parkedTentative(q, val, set, ver)
+			if val[id] != timeInf {
+				pq.push(boundItem{val[id], id})
+			}
+		}
+	}
+
+	for len(pq) > 0 {
+		it := pq.pop()
+		i := it.pid
+		if set[i] == ver || it.val > val[i] {
+			continue
+		}
+		set[i] = ver
+		// Lift the parked process's clock to its settled bound.
+		p := procs[i]
+		switch p.par.kind {
+		case parkRecv, parkSend, parkSel:
+			if val[i] != timeInf {
+				liftClockRaw(p, val[i])
+			}
+		}
+		for _, j := range rev[i] {
+			if set[j] == ver {
+				continue
+			}
+			q := procs[j]
+			switch q.par.kind {
+			case parkRecv, parkSend, parkSel:
+				if nv := e.parkedTentative(q, val, set, ver); nv < val[j] {
+					val[j] = nv
+					if nv != timeInf {
+						pq.push(boundItem{nv, j})
+					}
+				}
+			}
+		}
+	}
+	e.bndPQ = pq[:0]
+	// Unsettled visited nodes are unreachable from any clock source: stuck.
+	for _, id := range stack {
+		if set[id] != ver {
+			val[id] = timeInf
+			set[id] = ver
+		}
+	}
+	return val
+}
+
+// parkedTentative evaluates a parked process's wake-bound rule using only
+// settled neighbor values (unsettled neighbors contribute infinity).
+func (e *parEngine) parkedTentative(p *Process, val []Time, set []uint64, ver uint64) Time {
+	pp := &p.par
+	floor := clockOf(p)
+	// A parked receiver can be woken by an element (sender clock +
+	// latency) or by a close (sender clock, latency-free), so the
+	// sender-dependent wake bound carries NO latency. Select's commit
+	// rule, which reasons about elements only, adds the latency itself.
+	senderTerm := func(c *chanCore) Time {
+		sender := c.sender.Load()
+		if sender == nil {
+			return timeInf
+		}
+		j := sender.id
+		if set[j] != ver || val[j] == timeInf {
+			return timeInf
+		}
+		return val[j]
+	}
+	fwd := func(c *chanCore) Time {
+		b := Time(c.headReadyA.Load())
+		if c.closedA.Load() {
+			if ct := Time(c.closeTimeA.Load()); ct < b {
+				b = ct
+			}
+			return b
+		}
+		if st := senderTerm(c); st < b {
+			b = st
+		}
+		return b
+	}
+	switch pp.kind {
+	case parkRecv:
+		b := fwd(pp.parkCh)
+		if b == timeInf {
+			return timeInf
+		}
+		if b < floor {
+			b = floor
+		}
+		return b
+	case parkSend:
+		c := pp.parkCh
+		if c.closedA.Load() || c.nRecvA.Load() >= pp.parkNeed {
+			return floor
+		}
+		recver := c.recver.Load()
+		if recver == nil {
+			return floor
+		}
+		j := recver.id
+		if set[j] != ver || val[j] == timeInf {
+			return timeInf
+		}
+		b := val[j]
+		if b < floor {
+			b = floor
+		}
+		return b
+	case parkSel:
+		b := timeInf
+		for _, c := range pp.parkSels {
+			if f := fwd(c); f < b {
+				b = f
+			}
+		}
+		if b == timeInf {
+			return timeInf
+		}
+		if b < floor {
+			b = floor
+		}
+		return b
+	default:
+		return floor
+	}
+}
+
+// --- channel protocol --------------------------------------------------
+
+func (e *parEngine) bindOnSend(c *chanCore, p *Process) {
+	if got := c.sender.Load(); got == nil {
+		c.sender.CompareAndSwap(nil, p)
+	} else if got != p {
+		panic(fmt.Sprintf("des: channel %q has two senders", c.name))
+	}
+}
+
+func (e *parEngine) bindOnRecv(c *chanCore, p *Process) {
+	if got := c.recver.Load(); got == nil {
+		c.recver.CompareAndSwap(nil, p)
+	} else if got != p {
+		panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+	}
+}
+
+func (e *parEngine) sendReserve(c *chanCore, p *Process) int {
+	e.checkAbort()
+	for {
+		c.mu.Lock()
+		e.bindOnSend(c, p)
+		if c.closed {
+			c.mu.Unlock()
+			panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+		}
+		n := c.nSent + 1
+		if t, ok := c.sendDeadline(n); ok {
+			slot := c.tail()
+			c.mu.Unlock()
+			// Backpressure time bridging: the send completes no earlier
+			// than the virtual time its ring slot was freed.
+			e.liftClock(p, t)
+			return slot
+		}
+		c.sendParked = p
+		c.sendParkedNeed = n - int64(c.cap)
+		need := c.sendParkedNeed
+		g0 := p.par.snapshotGen()
+		c.mu.Unlock()
+		e.parkProc(p, parkSend, "send "+c.name, func(pp *parProc) {
+			pp.parkCh = c
+			pp.parkNeed = need
+		})
+		e.waitGen(p, g0)
+		e.unparkProc(p)
+		c.mu.Lock()
+		if c.sendParked == p {
+			c.sendParked = nil
+		}
+		c.mu.Unlock()
+		e.checkAbort()
+	}
+}
+
+func (e *parEngine) sendPublish(c *chanCore, p *Process) {
+	c.mu.Lock()
+	c.push(clockOf(p) + c.latency)
+	if w := c.recvParked; w != nil {
+		e.signal(w)
+	}
+	for _, sp := range c.selParked {
+		e.signal(sp)
+	}
+	c.mu.Unlock()
+}
+
+func (e *parEngine) recvWait(c *chanCore, p *Process) (int, bool) {
+	e.checkAbort()
+	for {
+		c.mu.Lock()
+		e.bindOnRecv(c, p)
+		if c.count > 0 {
+			slot := c.head
+			ready := c.ready[slot]
+			c.mu.Unlock()
+			// Time bridging: adopt the element's visibility time.
+			e.liftClock(p, ready)
+			return slot, true
+		}
+		if c.closed {
+			ct := c.closeTime
+			c.mu.Unlock()
+			e.liftClock(p, ct)
+			return 0, false
+		}
+		c.recvParked = p
+		g0 := p.par.snapshotGen()
+		c.mu.Unlock()
+		e.parkProc(p, parkRecv, "recv "+c.name, func(pp *parProc) {
+			pp.parkCh = c
+		})
+		e.waitGen(p, g0)
+		e.unparkProc(p)
+		c.mu.Lock()
+		if c.recvParked == p {
+			c.recvParked = nil
+		}
+		c.mu.Unlock()
+		e.checkAbort()
+	}
+}
+
+func (e *parEngine) recvRelease(c *chanCore, p *Process) {
+	c.mu.Lock()
+	c.pop(clockOf(p))
+	if w := c.sendParked; w != nil && (c.nRecv >= c.sendParkedNeed || c.closed) {
+		e.signal(w)
+	}
+	c.mu.Unlock()
+}
+
+func (e *parEngine) closeChan(c *chanCore, p *Process) {
+	e.checkAbort()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("des: double close of channel %q", c.name))
+	}
+	c.markClosed(clockOf(p))
+	if w := c.recvParked; w != nil {
+		e.signal(w)
+	}
+	if w := c.sendParked; w != nil {
+		e.signal(w)
+	}
+	for _, sp := range c.selParked {
+		e.signal(sp)
+	}
+	c.mu.Unlock()
+}
+
+// selSnapshot captures the decision inputs of one channel. The frontier
+// fields are filled strictly before the head fields (see selDecision).
+type selSnapshot struct {
+	sender     *Process
+	senderDone bool
+	frontier   Time
+	headReady  Time
+	closed     bool
+	closeTime  Time
+}
+
+// selDecision evaluates the conservative EagerMerge rule: commit the
+// earliest-visible head (ties to the lowest index) once every empty open
+// channel's frontier — the bound of its sender's local clock plus the
+// channel latency — proves no element can still become visible at or
+// before the committed (time, index). bounds, when non-nil, supplies
+// evaluator-computed sender bounds; otherwise raw sender clocks are used.
+// Callers need no channel locks: all inputs are published atomically and
+// the rule is stable (once committable, always committable).
+func (e *parEngine) selDecision(cores []*chanCore, bounds []Time) (idx int, lift Time, decided bool) {
+	var buf [32]selSnapshot
+	var snaps []selSnapshot
+	if len(cores) <= len(buf) {
+		snaps = buf[:len(cores)]
+	} else {
+		snaps = make([]selSnapshot, len(cores))
+	}
+	// Frontiers MUST be read before the head snapshots: an element pushed
+	// after the frontier read is either visible in the later head
+	// snapshot or was sent at a clock >= the frontier we read (clocks are
+	// monotone), so its ready time cannot undercut the frontier. Reading
+	// heads first would let a send+advance race hide an earlier-ready
+	// element behind an already-advanced frontier.
+	for i, c := range cores {
+		sn := &snaps[i]
+		sn.sender = c.sender.Load()
+		if sn.sender != nil {
+			sn.senderDone = sn.sender.par.finishedA.Load()
+			sn.frontier = clockOf(sn.sender)
+		}
+	}
+	for i, c := range cores {
+		sn := &snaps[i]
+		sn.headReady = Time(c.headReadyA.Load())
+		sn.closed = c.closedA.Load()
+		sn.closeTime = Time(c.closeTimeA.Load())
+	}
+	best := -1
+	var bestAt Time
+	allDrained := true
+	var maxClose Time
+	for i, s := range snaps {
+		if s.headReady != timeInf {
+			allDrained = false
+			if best == -1 || s.headReady < bestAt {
+				best, bestAt = i, s.headReady
+			}
+			continue
+		}
+		if s.closed {
+			if s.closeTime > maxClose {
+				maxClose = s.closeTime
+			}
+			continue
+		}
+		allDrained = false
+	}
+	if allDrained {
+		return -1, maxClose, true
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	for j, sn := range snaps {
+		if sn.headReady != timeInf || sn.closed {
+			continue
+		}
+		if sn.sender == nil {
+			panic(fmt.Sprintf("des: parallel Select requires a bound sender on channel %q (use BindSender)", cores[j].name))
+		}
+		if sn.senderDone {
+			// A finished sender can never enqueue (nor close) this
+			// channel: its frontier is infinite, so it cannot beat any
+			// committed head. (The sequential engine behaves the same
+			// way — nothing will ever wake the selector earlier.)
+			continue
+		}
+		f := sn.frontier
+		if bounds != nil && bounds[sn.sender.id] != timeInf && bounds[sn.sender.id] > f {
+			f = bounds[sn.sender.id]
+		}
+		f += cores[j].latency
+		if f < bestAt || (f == bestAt && j < best) {
+			return 0, 0, false
+		}
+	}
+	return best, bestAt, true
+}
+
+func (e *parEngine) sel(p *Process, cores []*chanCore) int {
+	e.checkAbort()
+	for {
+		if idx, lift, decided := e.selDecision(cores, nil); decided {
+			e.liftClock(p, lift)
+			return idx
+		}
+		// Register on every channel, then re-check under stateMu so a
+		// frontier crossing between the check and the registration cannot
+		// be missed (kick reads the registry under stateMu).
+		g0 := p.par.snapshotGen()
+		for _, c := range cores {
+			c.mu.Lock()
+			c.selParked = append(c.selParked, p)
+			c.mu.Unlock()
+		}
+		e.stateMu.Lock()
+		pp := &p.par
+		pp.kind = parkSel
+		pp.blockedOn = "select"
+		pp.parkSels = cores
+		pp.watchT = e.selWatch(cores)
+		e.selParkedList = append(e.selParkedList, p)
+		// Publish the watch threshold BEFORE the final decision check:
+		// sequentially consistent atomics then guarantee that a
+		// concurrent frontier advance either sees the threshold (and
+		// kicks) or happened early enough for the check below to see the
+		// new clock.
+		if wm := e.watchMin.Load(); uint64(pp.watchT) < wm {
+			e.watchMin.Store(uint64(pp.watchT))
+		}
+		idx, lift, decided := e.selDecision(cores, nil)
+		if decided {
+			pp.kind = parkNone
+			pp.blockedOn = ""
+			pp.parkSels = nil
+			e.dropSelParked(p)
+			e.stateMu.Unlock()
+			e.deregisterSel(p, cores)
+			e.liftClock(p, lift)
+			return idx
+		}
+		e.running--
+		wasLast := uint64(clockOf(p)) <= e.watchMin.Load() && e.noteBlockerGone()
+		if e.running == 0 || wasLast {
+			e.kick()
+		}
+		e.stateMu.Unlock()
+		e.waitGen(p, g0)
+		e.unparkSel(p)
+		e.deregisterSel(p, cores)
+		e.checkAbort()
+	}
+}
+
+// selWatch returns the frontier threshold that blocks this select: a
+// foreign clock crossing it can enable the commit.
+func (e *parEngine) selWatch(cores []*chanCore) Time {
+	best := timeInf
+	for _, c := range cores {
+		if hr := Time(c.headReadyA.Load()); hr < best {
+			best = hr
+		}
+	}
+	return best
+}
+
+// dropSelParked removes p from the parked-selector list (stateMu held).
+func (e *parEngine) dropSelParked(p *Process) {
+	for i, q := range e.selParkedList {
+		if q == p {
+			e.selParkedList = append(e.selParkedList[:i], e.selParkedList[i+1:]...)
+			break
+		}
+	}
+}
+
+// unparkSel is unparkProc plus parked-selector list maintenance.
+func (e *parEngine) unparkSel(p *Process) {
+	e.stateMu.Lock()
+	pp := &p.par
+	pp.kind = parkNone
+	pp.blockedOn = ""
+	pp.parkCh = nil
+	pp.parkSels = nil
+	e.dropSelParked(p)
+	e.running++
+	e.stateMu.Unlock()
+}
+
+func (e *parEngine) deregisterSel(p *Process, cores []*chanCore) {
+	for _, c := range cores {
+		c.mu.Lock()
+		for i, q := range c.selParked {
+			if q == p {
+				c.selParked = append(c.selParked[:i], c.selParked[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,403 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// procState tracks where a process is in its lifecycle (sequential engine).
+type procState int
+
+const (
+	stateReady procState = iota // spawned, not yet run
+	stateRunning
+	stateWaiting // yielded: sleeping on an event or parked on channels
+	stateFinished
+)
+
+// seqProc is the sequential-engine per-process state.
+type seqProc struct {
+	state   procState
+	episode uint64 // wait-episode counter; stale wake events are dropped
+	resume  chan struct{}
+	aborted bool
+	serSeq  uint64
+	// blockedOn describes what the process is waiting for (diagnostics).
+	blockedOn string
+}
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	at      Time
+	seq     uint64
+	proc    *Process
+	episode uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// serReq is a pending Serialized critical section.
+type serReq struct {
+	t   Time
+	pid int
+	seq uint64
+	p   *Process
+}
+
+func serLess(a, b serReq) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.pid != b.pid {
+		return a.pid < b.pid
+	}
+	return a.seq < b.seq
+}
+
+type serHeap []serReq
+
+func (h serHeap) Len() int           { return len(h) }
+func (h serHeap) Less(i, j int) bool { return serLess(h[i], h[j]) }
+func (h serHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *serHeap) Push(x any)        { *h = append(*h, x.(serReq)) }
+func (h *serHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// seqEngine runs exactly one process at a time, dispatching wake events in
+// (time, sequence) order so simulations are bit-for-bit reproducible
+// regardless of goroutine scheduling.
+type seqEngine struct {
+	sim     *Simulation
+	nowT    Time
+	events  eventHeap
+	seq     uint64
+	yielded chan *Process
+	pending serHeap
+}
+
+func newSeqEngine(s *Simulation) *seqEngine {
+	return &seqEngine{sim: s, yielded: make(chan *Process)}
+}
+
+func (e *seqEngine) now(p *Process) Time { return e.nowT }
+
+func (e *seqEngine) schedule(at Time, p *Process, episode uint64) {
+	e.seq++
+	e.events.pushEvent(event{at: at, seq: e.seq, proc: p, episode: episode})
+}
+
+// yield transfers control back to the scheduler and blocks until resumed.
+func (e *seqEngine) yield(p *Process, why string) {
+	sp := &p.seq
+	sp.episode++
+	sp.state = stateWaiting
+	sp.blockedOn = why
+	e.yielded <- p
+	<-sp.resume
+	sp.state = stateRunning
+	sp.blockedOn = ""
+	if sp.aborted {
+		panic(errAborted)
+	}
+}
+
+func (e *seqEngine) advance(p *Process, d Time) {
+	e.schedule(e.nowT+d, p, p.seq.episode+1)
+	e.yield(p, "advance")
+}
+
+func (e *seqEngine) advanceTo(p *Process, t Time) {
+	if t > e.nowT {
+		e.schedule(t, p, p.seq.episode+1)
+		e.yield(p, "advance-to")
+	}
+}
+
+func (e *seqEngine) serialized(p *Process, fn func()) {
+	if p.seq.aborted {
+		panic(errAborted)
+	}
+	// Fast path: with no queued request and no other wake at or before the
+	// current time, this request is first in (time, pid, seq) order — no
+	// other process can act before it, so run inline. This mirrors the
+	// parallel engine's "all other local clocks have passed t" condition.
+	if len(e.pending) == 0 && !e.hasValidEventAtOrBefore(e.nowT) {
+		fn()
+		return
+	}
+	heap.Push(&e.pending, serReq{t: e.nowT, pid: p.id, seq: p.seq.serSeq, p: p})
+	p.seq.serSeq++
+	e.yield(p, "serialized")
+	fn()
+}
+
+// hasValidEventAtOrBefore prunes stale heap tops and reports whether a
+// dispatchable event exists at or before t. Safe to call from a process
+// goroutine: the scheduler is parked in e.yielded while a process runs.
+func (e *seqEngine) hasValidEventAtOrBefore(t Time) bool {
+	for e.events.Len() > 0 {
+		top := e.events[0]
+		if !e.eventValid(top) {
+			e.events.popEvent()
+			continue
+		}
+		return top.at <= t
+	}
+	return false
+}
+
+func (e *seqEngine) eventValid(ev event) bool {
+	sp := &ev.proc.seq
+	if sp.state == stateFinished || sp.state == stateRunning {
+		return false
+	}
+	// Episode 0 events are the initial dispatch; otherwise the episode
+	// must match the process's current wait episode.
+	return ev.episode == 0 || ev.episode == sp.episode
+}
+
+func (e *seqEngine) run() (Time, error) {
+	heap.Init(&e.events)
+	// Seed: every process starts at time 0 in spawn order.
+	for _, p := range e.sim.procs {
+		p.seq.resume = make(chan struct{})
+		e.startProc(p)
+		e.schedule(0, p, 0)
+	}
+	live := len(e.sim.procs)
+	var firstErr error
+	var finish Time
+	for live > 0 {
+		var next *Process
+		haveEv := e.hasValidEventAtOrBefore(timeInf)
+		switch {
+		case haveEv && (len(e.pending) == 0 || e.events[0].at <= e.pending[0].t):
+			ev := e.events.popEvent()
+			if ev.at > e.nowT {
+				e.nowT = ev.at
+			}
+			next = ev.proc
+		case len(e.pending) > 0:
+			r := heap.Pop(&e.pending).(serReq)
+			if r.t > e.nowT {
+				e.nowT = r.t
+			}
+			next = r.p
+		default:
+			// No runnable process: deadlock.
+			firstErr = e.deadlockError()
+		}
+		if next == nil {
+			break
+		}
+		next.seq.resume <- struct{}{}
+		q := <-e.yielded
+		if q.seq.state == stateFinished {
+			live--
+			if e.nowT > finish {
+				finish = e.nowT
+			}
+			if q.err != nil && firstErr == nil {
+				firstErr = procError(q)
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	// Abort any processes still alive (error or deadlock path).
+	for _, p := range e.sim.procs {
+		if p.seq.state == stateFinished {
+			continue
+		}
+		p.seq.aborted = true
+		p.seq.resume <- struct{}{}
+		for {
+			q := <-e.yielded
+			if q == p && q.seq.state == stateFinished {
+				break
+			}
+			if q.seq.state != stateFinished {
+				// It yielded again (shouldn't happen when aborted), resume.
+				q.seq.aborted = true
+				q.seq.resume <- struct{}{}
+			}
+		}
+	}
+	if finish < e.nowT {
+		finish = e.nowT
+	}
+	return finish, firstErr
+}
+
+func (e *seqEngine) startProc(p *Process) {
+	go func() {
+		<-p.seq.resume
+		p.seq.state = stateRunning
+		defer func() {
+			recoverAsError(p, recover())
+			p.seq.state = stateFinished
+			e.yielded <- p
+		}()
+		if p.seq.aborted {
+			panic(errAborted)
+		}
+		p.err = p.fn(p)
+	}()
+}
+
+func (e *seqEngine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.sim.procs {
+		if p.seq.state != stateFinished {
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.seq.blockedOn))
+		}
+	}
+	return deadlockError(e.nowT, stuck)
+}
+
+// --- channel protocol -------------------------------------------------
+
+func (e *seqEngine) sendReserve(c *chanCore, p *Process) int {
+	if c.closed {
+		panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+	}
+	for c.count >= c.cap {
+		if c.seqSendWaiter != nil && c.seqSendWaiter != p {
+			panic(fmt.Sprintf("des: channel %q has two senders", c.name))
+		}
+		c.seqSendWaiter = p
+		e.yield(p, "send "+c.name)
+		c.seqSendWaiter = nil
+		if c.closed {
+			panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+		}
+	}
+	return c.tail()
+}
+
+func (e *seqEngine) sendPublish(c *chanCore, p *Process) {
+	ready := e.nowT + c.latency
+	c.push(ready)
+	if w := c.seqRecvWaiter; w != nil {
+		e.schedule(ready, w, w.seq.episode)
+	}
+}
+
+func (e *seqEngine) recvWait(c *chanCore, p *Process) (int, bool) {
+	for {
+		if c.count > 0 {
+			if ready := c.ready[c.head]; ready > e.nowT {
+				// Sleep until the head becomes visible.
+				e.schedule(ready, p, p.seq.episode+1)
+				e.yield(p, "recv-latency "+c.name)
+				continue
+			}
+			return c.head, true
+		}
+		if c.closed {
+			return 0, false
+		}
+		if c.seqRecvWaiter != nil && c.seqRecvWaiter != p {
+			panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+		}
+		c.seqRecvWaiter = p
+		e.yield(p, "recv "+c.name)
+		c.seqRecvWaiter = nil
+	}
+}
+
+func (e *seqEngine) recvRelease(c *chanCore, p *Process) {
+	c.pop(e.nowT)
+	if w := c.seqSendWaiter; w != nil {
+		e.schedule(e.nowT, w, w.seq.episode)
+	}
+}
+
+func (e *seqEngine) closeChan(c *chanCore, p *Process) {
+	if c.closed {
+		panic(fmt.Sprintf("des: double close of channel %q", c.name))
+	}
+	c.markClosed(e.nowT)
+	if w := c.seqRecvWaiter; w != nil {
+		e.schedule(e.nowT, w, w.seq.episode)
+	}
+	// A sender parked on a full channel must also observe the close (it
+	// panics with the canonical "send on closed channel" report instead
+	// of surfacing as a deadlocked process).
+	if w := c.seqSendWaiter; w != nil {
+		e.schedule(e.nowT, w, w.seq.episode)
+	}
+}
+
+func (e *seqEngine) setSelWaiter(c *chanCore, p *Process) {
+	if c.seqRecvWaiter != nil && c.seqRecvWaiter != p {
+		panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+	}
+	c.seqRecvWaiter = p
+}
+
+func (e *seqEngine) clearSelWaiter(c *chanCore, p *Process) {
+	if c.seqRecvWaiter == p {
+		c.seqRecvWaiter = nil
+	}
+}
+
+func (e *seqEngine) sel(p *Process, cores []*chanCore) int {
+	for {
+		best := -1
+		var bestAt Time
+		allDrained := true
+		for i, c := range cores {
+			if !(c.closed && c.count == 0) {
+				allDrained = false
+			}
+			if c.count == 0 {
+				continue
+			}
+			at := c.ready[c.head]
+			if best == -1 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best >= 0 {
+			if bestAt > e.nowT {
+				// Wait until the earliest head is visible, but remain
+				// wakeable by earlier arrivals on the other channels.
+				for _, c := range cores {
+					e.setSelWaiter(c, p)
+				}
+				e.schedule(bestAt, p, p.seq.episode+1)
+				e.yield(p, "select-latency")
+				for _, c := range cores {
+					e.clearSelWaiter(c, p)
+				}
+				continue
+			}
+			return best
+		}
+		if allDrained {
+			return -1
+		}
+		// Nothing queued anywhere: park on all channels.
+		for _, c := range cores {
+			e.setSelWaiter(c, p)
+		}
+		e.yield(p, "select")
+		for _, c := range cores {
+			e.clearSelWaiter(c, p)
+		}
+	}
+}

@@ -48,8 +48,8 @@ func Figure1() *Table {
 
 // fig8Config is the validation hardware setup (§4.5): on-chip memory units
 // at 256 B/cycle.
-func fig8Config() graph.Config {
-	cfg := graph.DefaultConfig()
+func fig8Config(s Suite) graph.Config {
+	cfg := s.graphConfig()
 	cfg.Onchip = onchip.Config{BandwidthBytesPerCycle: 256}
 	return cfg
 }
@@ -74,7 +74,7 @@ func Figure8(s Suite) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := sw.Graph.Run(fig8Config())
+			res, err := sw.Graph.Run(fig8Config(s))
 			if err != nil {
 				return nil, err
 			}
@@ -166,7 +166,7 @@ func Figure18(s Suite) (*Table, error) {
 			out = ops.Map2(g, "atb", aS, bS, fn, ops.ComputeOpts{ComputeBW: 1024})
 		}
 		cap := ops.Capture(g, "cap", out)
-		res, err := g.Run(graph.DefaultConfig())
+		res, err := g.Run(s.graphConfig())
 		if err != nil {
 			return 0, nil, err
 		}

@@ -62,3 +62,42 @@ func TestRunAllDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestSimWorkersDeterminism runs every registered experiment on the
+// sequential DES engine (SimWorkers=1) and on the DAM-style conservative
+// parallel engine (SimWorkers=8) and requires the rendered tables to be
+// byte-identical: the engines implement one virtual-time semantics, so
+// per-process local clocks and goroutine scheduling may only change where
+// simulation work executes, never what it computes.
+func TestSimWorkersDeterminism(t *testing.T) {
+	// Short mode keeps one representative of each simulator code path:
+	// tiling (Serialized HBM contention), time-multiplexing (Select-heavy
+	// routing), dynamic parallelization (feedback loops), ablation, and
+	// end-to-end decoding.
+	shortSet := map[string]bool{
+		"fig9": true, "fig12": true, "fig14": true, "fig17": true, "fig21": true,
+	}
+	for _, r := range All() {
+		r := r
+		if testing.Short() && !shortSet[r.ID] {
+			continue
+		}
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			seq, err := r.Run(Suite{Seed: 7, Quick: true, Workers: 1, SimWorkers: 1})
+			if err != nil {
+				t.Fatalf("SimWorkers=1: %v", err)
+			}
+			par, err := r.Run(Suite{Seed: 7, Quick: true, Workers: 1, SimWorkers: 8})
+			if err != nil {
+				t.Fatalf("SimWorkers=8: %v", err)
+			}
+			if got, want := par.String(), seq.String(); got != want {
+				t.Errorf("rendered table differs between SimWorkers=8 and SimWorkers=1:\n--- SimWorkers=8 ---\n%s\n--- SimWorkers=1 ---\n%s", got, want)
+			}
+			if got, want := par.CSV(), seq.CSV(); got != want {
+				t.Errorf("CSV differs between SimWorkers=8 and SimWorkers=1:\n--- SimWorkers=8 ---\n%s\n--- SimWorkers=1 ---\n%s", got, want)
+			}
+		})
+	}
+}

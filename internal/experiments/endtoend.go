@@ -4,7 +4,6 @@ import (
 	"math"
 	"strconv"
 
-	"step/internal/graph"
 	"step/internal/trace"
 	"step/internal/workloads"
 )
@@ -68,7 +67,7 @@ func Figure17(s Suite) (*Table, error) {
 			cfg.SampleLayers = sampleLayers
 			cfg.Skew = trace.SkewHeavy
 			cfg.Seed = s.Seed
-			return workloads.RunDecoder(cfg, graph.DefaultConfig())
+			return workloads.RunDecoder(cfg, s.graphConfig())
 		})
 		if err != nil {
 			return modelRun{}, err

@@ -7,6 +7,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"step/internal/graph"
 )
 
 // Table is a rendered experiment result.
@@ -95,10 +97,14 @@ type Suite struct {
 	// whole experiments under RunAll). Zero means one worker per CPU
 	// (runtime.GOMAXPROCS(0)); 1 runs everything sequentially on the
 	// calling goroutine, preserving the pre-harness behavior for
-	// debugging. Each DES simulation stays single-threaded and
-	// deterministic, so rendered tables are byte-identical at any
-	// worker count.
+	// debugging. Rendered tables are byte-identical at any worker count.
 	Workers int
+	// SimWorkers selects the DES engine inside each simulation: 0 or 1
+	// runs the sequential reference engine; >= 2 runs the DAM-style
+	// conservative parallel engine (one goroutine per dataflow block,
+	// per-process local clocks). Both engines produce byte-identical
+	// tables; see internal/des.
+	SimWorkers int
 	// sem is the shared worker-token pool (see Suite.ensurePool):
 	// nested sweeps draw from one budget so total concurrency stays
 	// bounded by Workers at any fan-out depth.
@@ -107,6 +113,14 @@ type Suite struct {
 
 // DefaultSuite is the reproducible default.
 func DefaultSuite() Suite { return Suite{Seed: 7} }
+
+// graphConfig is the standard per-simulation configuration with the
+// suite's DES engine selection applied.
+func (s Suite) graphConfig() graph.Config {
+	cfg := graph.DefaultConfig()
+	cfg.SimWorkers = s.SimWorkers
+	return cfg
+}
 
 // Runner is an experiment entry point.
 type Runner struct {

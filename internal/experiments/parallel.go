@@ -3,14 +3,13 @@ package experiments
 import (
 	"math"
 
-	"step/internal/graph"
 	"step/internal/trace"
 	"step/internal/workloads"
 )
 
 // runAttention measures one attention configuration. coarseBlock > 0
 // fixes the per-region block size for the coarse strategy.
-func runAttention(model workloads.ModelConfig, kv []int, strategy workloads.ParallelStrategy, micro []int, coarseBlock int) (uint64, error) {
+func runAttention(s Suite, model workloads.ModelConfig, kv []int, strategy workloads.ParallelStrategy, micro []int, coarseBlock int) (uint64, error) {
 	a, err := workloads.BuildAttention(workloads.AttentionConfig{
 		Model:        model,
 		KVLens:       kv,
@@ -23,7 +22,7 @@ func runAttention(model workloads.ModelConfig, kv []int, strategy workloads.Para
 	if err != nil {
 		return 0, err
 	}
-	res, err := a.Graph.Run(graph.DefaultConfig())
+	res, err := a.Graph.Run(s.graphConfig())
 	if err != nil {
 		return 0, err
 	}
@@ -50,7 +49,7 @@ func Figure14(s Suite) (*Table, error) {
 		if i%2 == 1 {
 			strategy = workloads.DynamicParallel
 		}
-		return runAttention(model, kv, strategy, nil, 0)
+		return runAttention(s, model, kv, strategy, nil, 0)
 	})
 	if err != nil {
 		return nil, err
@@ -81,9 +80,9 @@ func Figure15(s Suite) (*Table, error) {
 		b := batches[i/2]
 		kv := trace.SampleKVLengths(b, 2048, trace.VarMed, s.Seed+uint64(b))
 		if i%2 == 0 {
-			return runAttention(model, kv, workloads.StaticCoarse, nil, 16)
+			return runAttention(s, model, kv, workloads.StaticCoarse, nil, 16)
 		}
-		return runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+		return runAttention(s, model, kv, workloads.DynamicParallel, nil, 0)
 	})
 	if err != nil {
 		return nil, err
@@ -135,15 +134,15 @@ func Figure21(s Suite) (*Table, error) {
 			if len(spec.sizes) > 1 {
 				micro = spec.sizes
 			}
-			cc, err := runAttention(model, kv, workloads.StaticCoarse, micro, 16)
+			cc, err := runAttention(s, model, kv, workloads.StaticCoarse, micro, 16)
 			if err != nil {
 				return cell{}, err
 			}
-			ic, err := runAttention(model, kv, workloads.StaticInterleaved, nil, 0)
+			ic, err := runAttention(s, model, kv, workloads.StaticInterleaved, nil, 0)
 			if err != nil {
 				return cell{}, err
 			}
-			dc, err := runAttention(model, kv, workloads.DynamicParallel, nil, 0)
+			dc, err := runAttention(s, model, kv, workloads.DynamicParallel, nil, 0)
 			if err != nil {
 				return cell{}, err
 			}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"step/internal/graph"
 	"step/internal/sched"
 	"step/internal/trace"
 	"step/internal/workloads"
@@ -44,7 +43,7 @@ func runTilingSweep(s Suite, model workloads.ModelConfig, batch int, tiles []int
 		if err != nil {
 			return tilingPoint{}, err
 		}
-		res, err := l.Graph.Run(graph.DefaultConfig())
+		res, err := l.Graph.Run(s.graphConfig())
 		if err != nil {
 			return tilingPoint{}, err
 		}

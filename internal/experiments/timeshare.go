@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"step/internal/graph"
 	"step/internal/trace"
 	"step/internal/workloads"
 )
@@ -36,7 +35,7 @@ func runTimeshareSweep(s Suite, dynamic bool, tileSize int, regions []int) ([]ti
 		if err != nil {
 			return timesharePoint{}, err
 		}
-		cfg := graph.DefaultConfig()
+		cfg := s.graphConfig()
 		res, err := l.Graph.Run(cfg)
 		if err != nil {
 			return timesharePoint{}, err

@@ -26,6 +26,11 @@ type Config struct {
 	Onchip         onchip.Config
 	ChannelDepth   int
 	ChannelLatency des.Time
+	// SimWorkers selects the DES engine executing the graph: 0 or 1 runs
+	// the sequential reference engine; >= 2 runs the DAM-style
+	// conservative parallel engine (per-process local clocks,
+	// time-bridged channels). Both engines produce identical Results.
+	SimWorkers int
 }
 
 // DefaultConfig matches the evaluation setup of §5.1.
@@ -90,7 +95,7 @@ func (g *Graph) Run(cfg Config) (Result, error) {
 	if cfg.ChannelDepth < 1 {
 		cfg.ChannelDepth = 1
 	}
-	sim := des.New()
+	sim := des.NewWithWorkers(cfg.SimWorkers)
 	machine := &Machine{
 		HBM:            hbm.New(cfg.HBM),
 		Spad:           onchip.New(cfg.Onchip),
@@ -112,6 +117,7 @@ func (g *Graph) Run(cfg Config) (Result, error) {
 		name := fmt.Sprintf("s%d:%s->%s", s.id, producerName(s), consumerName(s))
 		chans[s] = des.NewChan[element.Element](sim, name, depth, lat)
 	}
+	procs := make(map[*Node]*des.Process, len(g.nodes))
 	for _, n := range g.nodes {
 		node := n
 		ctx := &Ctx{Machine: machine, Counters: counters}
@@ -121,20 +127,39 @@ func (g *Graph) Run(cfg Config) (Result, error) {
 		for _, out := range node.Outputs {
 			ctx.Out = append(ctx.Out, chans[out])
 		}
-		sim.Spawn(fmt.Sprintf("n%d:%s", node.ID, node.Op.Name()), func(p *des.Process) error {
+		procs[node] = sim.Spawn(fmt.Sprintf("n%d:%s", node.ID, node.Op.Name()), func(p *des.Process) error {
 			ctx.P = p
 			return node.Op.Run(ctx)
 		})
 	}
+	// Bind every channel to its producing and consuming process: the
+	// parallel engine's conservative Select and wake-bound propagation
+	// need the sender's local clock as each channel's time frontier.
+	for _, s := range g.streams {
+		ch := chans[s]
+		if s.prod != nil {
+			ch.BindSender(procs[s.prod])
+		}
+		if s.cons != nil {
+			ch.BindRecver(procs[s.cons])
+		}
+	}
 	cycles, err := sim.Run()
+	// Deterministic deferred scratchpad accounting: one replay of the
+	// event log in (time, process, order) order yields the peak and any
+	// capacity violation.
+	_, peakOnchip, spadErr := machine.Spad.Resolve()
 	res := Result{
 		Cycles:              cycles,
 		OffchipTrafficBytes: machine.HBM.TrafficBytes(),
 		OffchipReadBytes:    machine.HBM.ReadBytes(),
 		OffchipWriteBytes:   machine.HBM.WriteBytes(),
-		PeakOnchipBytes:     machine.Spad.PeakBytes(),
+		PeakOnchipBytes:     peakOnchip,
 		TotalFLOPs:          counters.FLOPs,
 		AllocatedComputeBW:  g.AllocatedComputeBW(),
+	}
+	if err == nil {
+		err = spadErr
 	}
 	if err != nil {
 		return res, fmt.Errorf("graph: run failed: %w", err)

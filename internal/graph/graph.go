@@ -10,6 +10,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"step/internal/des"
 	"step/internal/element"
@@ -227,12 +228,27 @@ func (g *Graph) AllocatedComputeBW() int64 {
 type Chan = des.Chan[element.Element]
 
 // Counters collects runtime statistics shared by all operators of a run.
+// Mutate through the Add methods — operators run concurrently under the
+// parallel DES engine; the sums are order-free and therefore identical on
+// both engines. Read the fields only after the run completes.
 type Counters struct {
 	FLOPs       int64
 	DataElems   int64
 	StopTokens  int64
 	PaddedElems int64
 }
+
+// AddFLOPs records compute work.
+func (c *Counters) AddFLOPs(n int64) { atomic.AddInt64(&c.FLOPs, n) }
+
+// AddDataElem counts one data element moved.
+func (c *Counters) AddDataElem() { atomic.AddInt64(&c.DataElems, 1) }
+
+// AddStopToken counts one stop token moved.
+func (c *Counters) AddStopToken() { atomic.AddInt64(&c.StopTokens, 1) }
+
+// AddPaddedElem counts one padding element introduced.
+func (c *Counters) AddPaddedElem() { atomic.AddInt64(&c.PaddedElems, 1) }
 
 // Ctx is the execution context handed to Operator.Run.
 type Ctx struct {

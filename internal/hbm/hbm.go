@@ -15,6 +15,7 @@ package hbm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"step/internal/des"
 )
@@ -33,8 +34,10 @@ func DefaultConfig() Config {
 	return Config{BandwidthBytesPerCycle: 1024, LatencyCycles: 64}
 }
 
-// HBM is the shared off-chip memory. It is safe to use from any process
-// because the DES kernel runs exactly one process at a time.
+// HBM is the shared off-chip memory. All bus-state mutation happens
+// inside Process.Serialized critical sections, so it is safe to use from
+// any process on either DES engine, and same-cycle contention resolves in
+// the same deterministic (time, process, call) order everywhere.
 type HBM struct {
 	cfg Config
 	// nextFree is the earliest time the bus can start a new transfer.
@@ -43,7 +46,7 @@ type HBM struct {
 	readBytes  int64
 	writeBytes int64
 	busyCycles des.Time
-	nPorts     int
+	nPorts     atomic.Int64
 }
 
 // New creates an HBM with the given configuration.
@@ -89,45 +92,51 @@ type Port struct {
 	started     bool
 }
 
-// NewPort opens a port.
+// NewPort opens a port. Safe to call concurrently from any process.
 func (h *HBM) NewPort() *Port {
-	h.nPorts++
+	h.nPorts.Add(1)
 	return &Port{h: h}
 }
 
-// transfer reserves the bus and advances the process to data arrival.
+// transfer reserves the bus and advances the process to data arrival. The
+// bus reservation runs as a Serialized critical section: requests from all
+// ports are granted in deterministic (issue time, process, call) order on
+// both DES engines.
 func (pt *Port) transfer(p *des.Process, bytes int64, write bool) {
 	if bytes <= 0 {
 		return
 	}
 	h := pt.h
-	issue := p.Now()
-	busStart := issue
-	if h.nextFree > busStart {
-		busStart = h.nextFree
-	}
-	busy := des.Time((bytes + h.cfg.BandwidthBytesPerCycle - 1) / h.cfg.BandwidthBytesPerCycle)
-	h.nextFree = busStart + busy
-	h.busyCycles += busy
-	if write {
-		h.writeBytes += bytes
-	} else {
-		h.readBytes += bytes
-	}
 	var arrival des.Time
-	if pt.started && issue <= pt.lastArrival {
-		// Continuation: the request overlapped the in-flight window, so the
-		// latency is hidden by pipelining; data rate is bandwidth-limited.
-		arrival = pt.lastArrival
-		if busStart > arrival {
-			arrival = busStart
+	p.Serialized(func() {
+		issue := p.Now()
+		busStart := issue
+		if h.nextFree > busStart {
+			busStart = h.nextFree
 		}
-		arrival += busy
-	} else {
-		arrival = busStart + busy + h.cfg.LatencyCycles
-	}
-	pt.started = true
-	pt.lastArrival = arrival
+		busy := des.Time((bytes + h.cfg.BandwidthBytesPerCycle - 1) / h.cfg.BandwidthBytesPerCycle)
+		h.nextFree = busStart + busy
+		h.busyCycles += busy
+		if write {
+			h.writeBytes += bytes
+		} else {
+			h.readBytes += bytes
+		}
+		if pt.started && issue <= pt.lastArrival {
+			// Continuation: the request overlapped the in-flight window, so
+			// the latency is hidden by pipelining; data rate is
+			// bandwidth-limited.
+			arrival = pt.lastArrival
+			if busStart > arrival {
+				arrival = busStart
+			}
+			arrival += busy
+		} else {
+			arrival = busStart + busy + h.cfg.LatencyCycles
+		}
+		pt.started = true
+		pt.lastArrival = arrival
+	})
 	p.AdvanceTo(arrival)
 }
 

@@ -3,10 +3,21 @@
 // live and peak occupancy so experiments can report on-chip memory
 // requirements, and enforces an optional capacity to surface schedules
 // that do not fit.
+//
+// Accounting is deterministic on both DES engines: process-attributed
+// allocations append to per-process event logs (no cross-process
+// synchronization on the hot path) and the live/peak/capacity numbers are
+// resolved after the run by replaying the merged log in (virtual time,
+// process ID, per-process order) order — the same tie rule the engines
+// use for Serialized critical sections. Calls without a process (nil)
+// take the legacy online path used by direct unit-style consumers.
 package onchip
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"step/internal/des"
 )
@@ -28,13 +39,34 @@ func DefaultConfig() Config {
 	return Config{BandwidthBytesPerCycle: 64}
 }
 
+// opEvent is one allocation-size change at a virtual time.
+type opEvent struct {
+	at    des.Time
+	pid   int
+	seq   int64
+	delta int64
+}
+
+// shard is one process's private event log; only that process appends.
+type shard struct {
+	events []opEvent
+	seq    int64
+}
+
 // Scratchpad tracks on-chip allocations.
 type Scratchpad struct {
-	cfg    Config
+	cfg Config
+
+	// Online accounting for process-less (direct) use.
 	live   int64
 	peak   int64
 	allocs int64
-	nextID int
+	nextID atomic.Int64
+
+	// Event-log accounting for engine-managed use.
+	mu      sync.RWMutex
+	shards  []*shard // indexed by process ID
+	nLogged atomic.Int64
 }
 
 // New creates a scratchpad.
@@ -48,41 +80,165 @@ func New(cfg Config) *Scratchpad {
 // Config returns the configuration.
 func (s *Scratchpad) Config() Config { return s.cfg }
 
-// Alloc reserves bytes and returns a buffer ID. It returns an error when a
-// capacity is configured and would be exceeded.
-func (s *Scratchpad) Alloc(bytes int64) (int, error) {
+// shardFor returns p's private log, growing the table on first use.
+func (s *Scratchpad) shardFor(p *des.Process) *shard {
+	pid := p.ID()
+	s.mu.RLock()
+	if pid < len(s.shards) && s.shards[pid] != nil {
+		sh := s.shards[pid]
+		s.mu.RUnlock()
+		return sh
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	for pid >= len(s.shards) {
+		s.shards = append(s.shards, nil)
+	}
+	if s.shards[pid] == nil {
+		s.shards[pid] = &shard{}
+	}
+	sh := s.shards[pid]
+	s.mu.Unlock()
+	return sh
+}
+
+func (s *Scratchpad) log(p *des.Process, delta int64) {
+	sh := s.shardFor(p)
+	sh.events = append(sh.events, opEvent{at: p.Now(), pid: p.ID(), seq: sh.seq, delta: delta})
+	sh.seq++
+	s.nLogged.Add(1)
+}
+
+// Alloc reserves bytes at p's current virtual time and returns a buffer
+// ID. Engine-managed callers (p != nil) get deferred, deterministic
+// accounting: capacity violations surface from Err after the run, in
+// replay order, rather than aborting mid-simulation. Direct callers
+// (p == nil) keep the legacy online behavior, including an immediate
+// capacity error.
+func (s *Scratchpad) Alloc(p *des.Process, bytes int64) (int, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("onchip: negative allocation %d", bytes)
 	}
-	if s.cfg.CapacityBytes > 0 && s.live+bytes > s.cfg.CapacityBytes {
-		return 0, fmt.Errorf("onchip: allocation of %d bytes exceeds capacity (%d live of %d)",
-			bytes, s.live, s.cfg.CapacityBytes)
+	if p == nil {
+		if s.cfg.CapacityBytes > 0 && s.live+bytes > s.cfg.CapacityBytes {
+			return 0, fmt.Errorf("onchip: allocation of %d bytes exceeds capacity (%d live of %d)",
+				bytes, s.live, s.cfg.CapacityBytes)
+		}
+		s.live += bytes
+		if s.live > s.peak {
+			s.peak = s.live
+		}
+		s.allocs++
+		return int(s.nextID.Add(1)), nil
 	}
-	s.live += bytes
-	if s.live > s.peak {
-		s.peak = s.live
-	}
-	s.allocs++
-	s.nextID++
-	return s.nextID, nil
+	s.log(p, bytes)
+	return int(s.nextID.Add(1)), nil
 }
 
 // Free releases bytes previously allocated.
-func (s *Scratchpad) Free(bytes int64) {
-	if bytes < 0 || bytes > s.live {
-		panic(fmt.Sprintf("onchip: bad free of %d (live %d)", bytes, s.live))
+func (s *Scratchpad) Free(p *des.Process, bytes int64) {
+	if p == nil {
+		if bytes < 0 || bytes > s.live {
+			panic(fmt.Sprintf("onchip: bad free of %d (live %d)", bytes, s.live))
+		}
+		s.live -= bytes
+		return
 	}
-	s.live -= bytes
+	if bytes < 0 {
+		panic(fmt.Sprintf("onchip: bad free of %d", bytes))
+	}
+	s.log(p, -bytes)
+}
+
+// resolved replays the merged event log. Call only when no process is
+// concurrently allocating (i.e. after Run, or from single-threaded use).
+func (s *Scratchpad) resolved() (live, peak, allocs int64, err error) {
+	s.mu.RLock()
+	var all []opEvent
+	for _, sh := range s.shards {
+		if sh != nil {
+			all = append(all, sh.events...)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.seq < b.seq
+	})
+	live, peak, allocs = s.live, s.peak, s.allocs
+	for _, ev := range all {
+		live += ev.delta
+		if live > peak {
+			peak = live
+		}
+		if live < 0 && err == nil {
+			err = fmt.Errorf("onchip: bad free of %d at t=%d (live went negative)", -ev.delta, ev.at)
+		}
+		if ev.delta > 0 {
+			allocs++
+			if s.cfg.CapacityBytes > 0 && live > s.cfg.CapacityBytes && err == nil {
+				err = fmt.Errorf("onchip: allocation of %d bytes at t=%d exceeds capacity (%d live of %d)",
+					ev.delta, ev.at, live-ev.delta, s.cfg.CapacityBytes)
+			}
+		}
+	}
+	return live, peak, allocs, err
+}
+
+// Resolve replays the event log once and returns the final live bytes,
+// the peak, and the first deterministic-order capacity violation (nil if
+// none). Prefer it over separate getter calls after a run: each getter
+// re-replays the log.
+func (s *Scratchpad) Resolve() (live, peak int64, err error) {
+	if s.nLogged.Load() == 0 {
+		return s.live, s.peak, nil
+	}
+	live, peak, _, err = s.resolved()
+	return live, peak, err
 }
 
 // LiveBytes returns the currently allocated bytes.
-func (s *Scratchpad) LiveBytes() int64 { return s.live }
+func (s *Scratchpad) LiveBytes() int64 {
+	if s.nLogged.Load() == 0 {
+		return s.live
+	}
+	live, _, _, _ := s.resolved()
+	return live
+}
 
 // PeakBytes returns the high-water mark.
-func (s *Scratchpad) PeakBytes() int64 { return s.peak }
+func (s *Scratchpad) PeakBytes() int64 {
+	if s.nLogged.Load() == 0 {
+		return s.peak
+	}
+	_, peak, _, _ := s.resolved()
+	return peak
+}
 
 // Allocs returns the number of allocations performed.
-func (s *Scratchpad) Allocs() int64 { return s.allocs }
+func (s *Scratchpad) Allocs() int64 {
+	if s.nLogged.Load() == 0 {
+		return s.allocs
+	}
+	_, _, allocs, _ := s.resolved()
+	return allocs
+}
+
+// Err reports the first capacity violation (or bad free) in deterministic
+// replay order, or nil. Engine-managed runs surface it from graph.Run.
+func (s *Scratchpad) Err() error {
+	if s.nLogged.Load() == 0 {
+		return nil
+	}
+	_, _, _, err := s.resolved()
+	return err
+}
 
 // AccessCycles returns the Roofline time to move bytes through one on-chip
 // memory unit.

@@ -1,23 +1,27 @@
 package onchip
 
-import "testing"
+import (
+	"testing"
+
+	"step/internal/des"
+)
 
 func TestAllocFreePeak(t *testing.T) {
 	s := New(DefaultConfig())
-	if _, err := s.Alloc(100); err != nil {
+	if _, err := s.Alloc(nil, 100); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Alloc(200); err != nil {
+	if _, err := s.Alloc(nil, 200); err != nil {
 		t.Fatal(err)
 	}
 	if s.LiveBytes() != 300 || s.PeakBytes() != 300 {
 		t.Fatalf("live=%d peak=%d", s.LiveBytes(), s.PeakBytes())
 	}
-	s.Free(100)
+	s.Free(nil, 100)
 	if s.LiveBytes() != 200 || s.PeakBytes() != 300 {
 		t.Fatalf("live=%d peak=%d after free", s.LiveBytes(), s.PeakBytes())
 	}
-	if _, err := s.Alloc(50); err != nil {
+	if _, err := s.Alloc(nil, 50); err != nil {
 		t.Fatal(err)
 	}
 	if s.PeakBytes() != 300 {
@@ -30,21 +34,21 @@ func TestAllocFreePeak(t *testing.T) {
 
 func TestCapacityEnforced(t *testing.T) {
 	s := New(Config{BandwidthBytesPerCycle: 64, CapacityBytes: 256})
-	if _, err := s.Alloc(200); err != nil {
+	if _, err := s.Alloc(nil, 200); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Alloc(100); err == nil {
+	if _, err := s.Alloc(nil, 100); err == nil {
 		t.Fatal("expected capacity error")
 	}
-	s.Free(200)
-	if _, err := s.Alloc(256); err != nil {
+	s.Free(nil, 200)
+	if _, err := s.Alloc(nil, 256); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestNegativeAllocRejected(t *testing.T) {
 	s := New(DefaultConfig())
-	if _, err := s.Alloc(-1); err == nil {
+	if _, err := s.Alloc(nil, -1); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -56,7 +60,7 @@ func TestBadFreePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	s.Free(1)
+	s.Free(nil, 1)
 }
 
 func TestAccessCycles(t *testing.T) {
@@ -69,5 +73,73 @@ func TestAccessCycles(t *testing.T) {
 	}
 	if got := s.AccessCycles(65); got != 2 {
 		t.Fatalf("65 bytes = %d cycles", got)
+	}
+}
+
+func TestEventLogDeterministicReplay(t *testing.T) {
+	// Process-attributed allocations resolve in (time, pid, seq) order no
+	// matter which order the per-process logs were appended in, so peak
+	// and capacity accounting are identical on both DES engines.
+	build := func(reverse bool) *Scratchpad {
+		s := New(Config{BandwidthBytesPerCycle: 64, CapacityBytes: 250})
+		sim := des.New()
+		var p0, p1 *des.Process
+		p0 = sim.Spawn("a", func(p *des.Process) error { return nil })
+		p1 = sim.Spawn("b", func(p *des.Process) error { return nil })
+		_, _ = sim.Run()
+		// Hand-crafted logs: p0 allocates 100 at t=0 and frees at t=0;
+		// p1 allocates 200 at t=0. Replay order is by (time, pid, seq):
+		// +100 (p0), -100 (p0), +200 (p1) -> peak 200, no capacity error.
+		log := func(p *des.Process, deltas ...int64) {
+			for _, d := range deltas {
+				if d >= 0 {
+					if _, err := s.Alloc(p, d); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					s.Free(p, -d)
+				}
+			}
+		}
+		if reverse {
+			log(p1, 200)
+			log(p0, 100, -100)
+		} else {
+			log(p0, 100, -100)
+			log(p1, 200)
+		}
+		return s
+	}
+	for _, rev := range []bool{false, true} {
+		s := build(rev)
+		if got := s.PeakBytes(); got != 200 {
+			t.Fatalf("reverse=%v: peak = %d, want 200 (replay order must ignore append order)", rev, got)
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("reverse=%v: unexpected capacity error: %v", rev, err)
+		}
+		if got := s.LiveBytes(); got != 200 {
+			t.Fatalf("reverse=%v: live = %d", rev, got)
+		}
+		if got := s.Allocs(); got != 2 {
+			t.Fatalf("reverse=%v: allocs = %d", rev, got)
+		}
+	}
+}
+
+func TestEventLogCapacityErr(t *testing.T) {
+	s := New(Config{BandwidthBytesPerCycle: 64, CapacityBytes: 100})
+	sim := des.New()
+	var proc *des.Process
+	proc = sim.Spawn("p", func(p *des.Process) error { return nil })
+	_, _ = sim.Run()
+	if _, err := s.Alloc(proc, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(proc, 80); err != nil {
+		t.Fatalf("engine-managed alloc must defer capacity enforcement: %v", err)
+	}
+	if err := s.Err(); err == nil {
+		t.Fatal("expected deferred capacity error")
 	}
 }

@@ -144,7 +144,7 @@ func (o *mapOp) Run(ctx *graph.Ctx) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", o.name, err)
 		}
-		ctx.Counters.FLOPs += flops
+		ctx.Counters.AddFLOPs(flops)
 		ctx.P.Advance(rooflineCycles(ctx, o.opts, e.Value.Bytes(), out.Bytes(), flops))
 		ctx.Out[0].Send(ctx.P, element.DataOf(out))
 	}
@@ -262,7 +262,7 @@ func (o *accumOp) Run(ctx *graph.Ctx) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", o.name, err)
 			}
-			ctx.Counters.FLOPs += flops
+			ctx.Counters.AddFLOPs(flops)
 			ctx.P.Advance(rooflineCycles(ctx, o.opts, e.Value.Bytes(), next.Bytes(), flops))
 			state = next
 			if o.emit {
@@ -317,7 +317,7 @@ func (o *flatMapOp) Run(ctx *graph.Ctx) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", o.name, err)
 			}
-			ctx.Counters.FLOPs += flops
+			ctx.Counters.AddFLOPs(flops)
 			for _, fe := range frag {
 				if fe.Kind == element.Stop && fe.Level > o.b {
 					return fmt.Errorf("%s: fragment stop S%d exceeds flatmap rank %d", o.name, fe.Level, o.b)

@@ -90,7 +90,7 @@ func (o *bufferizeOp) Run(ctx *graph.Ctx) error {
 		default:
 			// Write the element into on-chip memory.
 			bytes := e.Value.Bytes()
-			if _, err := spad.Alloc(bytes); err != nil {
+			if _, err := spad.Alloc(ctx.P, bytes); err != nil {
 				return fmt.Errorf("%s: %w", o.name, err)
 			}
 			ctx.P.Advance(spad.AccessCycles(bytes))
@@ -219,7 +219,7 @@ func (o *streamifyOp) release(ctx *graph.Ctx, buf *element.Buffer) {
 		return
 	}
 	buf.Released = true
-	ctx.Machine.Spad.Free(buf.Bytes())
+	ctx.Machine.Spad.Free(ctx.P, buf.Bytes())
 }
 
 // runLinearNoRef streams every buffer once.

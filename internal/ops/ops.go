@@ -47,9 +47,9 @@ func recvTracked(ctx *graph.Ctx, i int) (element.Element, bool) {
 	e, ok := ctx.In[i].Recv(ctx.P)
 	if ok {
 		if e.IsData() {
-			ctx.Counters.DataElems++
+			ctx.Counters.AddDataElem()
 		} else if e.Kind == element.Stop {
-			ctx.Counters.StopTokens++
+			ctx.Counters.AddStopToken()
 		}
 	}
 	return e, ok

@@ -101,7 +101,7 @@ func (o *reshapeOp) runInner(ctx *graph.Ctx) error {
 		ctx.Out[0].Send(ctx.P, e)
 		ctx.Out[1].Send(ctx.P, element.DataOf(element.Flag{B: padded}))
 		if padded {
-			ctx.Counters.PaddedElems++
+			ctx.Counters.AddPaddedElem()
 		}
 	}
 	emitStop := func(l int) {
