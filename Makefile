@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json sweep-smoke check
 
 all: check
 
@@ -50,4 +50,13 @@ bench-json:
 	@rm -f bench-json.out
 	@echo wrote BENCH_core.json
 
-check: build vet fmt-check test race bench-smoke
+# sweep-smoke runs the committed scenario specs end to end through the
+# stepctl sweep CLI. Each spec declares workers_axis [1,8] x
+# sim_workers_axis [1,8], so a passing run also certifies byte-identical
+# tables across the harness/DES-engine matrix.
+sweep-smoke:
+	$(GO) run ./cmd/stepctl sweep -spec examples/specs/gqa_ratio.json
+	$(GO) run ./cmd/stepctl sweep -spec examples/specs/long_context.json
+	$(GO) run ./cmd/stepctl sweep -spec examples/specs/mixed_serving.json
+
+check: build vet fmt-check test race bench-smoke sweep-smoke

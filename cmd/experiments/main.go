@@ -4,6 +4,7 @@
 //
 //	experiments                 # run everything, print console tables
 //	experiments -fig fig9       # run one experiment
+//	experiments -spec spec.json # run a declarative scenario sweep instead
 //	experiments -out results/   # also write one CSV per experiment
 //	experiments -quick          # shrink sweeps for a fast smoke run
 //	experiments -workers 4      # bound the parallel fan-out (0 = all CPUs)
@@ -18,11 +19,13 @@ import (
 	"path/filepath"
 
 	"step/internal/experiments"
+	"step/internal/scenario"
 )
 
 func main() {
 	var (
 		fig        = flag.String("fig", "", "run a single experiment by ID (e.g. fig9)")
+		spec       = flag.String("spec", "", "run a scenario spec JSON file through the same reporting path")
 		out        = flag.String("out", "", "directory to write CSV results into")
 		seed       = flag.Uint64("seed", 7, "trace seed")
 		quick      = flag.Bool("quick", false, "shrink sweeps for a fast run")
@@ -48,6 +51,19 @@ func main() {
 			os.Exit(1)
 		}
 		runners = []experiments.Runner{r}
+	}
+	if *spec != "" {
+		if *fig != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -fig and -spec are mutually exclusive")
+			os.Exit(1)
+		}
+		sp, err := scenario.Load(*spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{{ID: sp.ID, Desc: sp.Title,
+			Run: func(s experiments.Suite) (*experiments.Table, error) { return scenario.Run(sp, s) }}}
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

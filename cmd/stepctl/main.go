@@ -7,15 +7,18 @@
 //	stepctl tables             # print the STeP operator reference (Tables 3–7)
 //	stepctl moe [flags]        # run one MoE-layer configuration
 //	stepctl exp [flags]        # run paper experiments on the parallel harness
+//	stepctl sweep [flags]      # run a declarative scenario sweep (JSON spec)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"step"
 	"step/internal/experiments"
+	"step/internal/scenario"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 		err = moe(os.Args[2:])
 	case "exp":
 		err = exp(os.Args[2:])
+	case "sweep":
+		err = sweep(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -46,7 +51,67 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep> [flags]")
+}
+
+// sweep runs a declarative scenario: a JSON spec file (or a built-in
+// spec by name) compiled onto the workload entry points and fanned out
+// on the parallel harness.
+func sweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	var (
+		specPath   = fs.String("spec", "", "path to a scenario spec JSON file")
+		name       = fs.String("name", "", "run a built-in spec by ID instead (see -list)")
+		list       = fs.Bool("list", false, "list built-in spec IDs and exit")
+		seed       = fs.Uint64("seed", 7, "trace seed")
+		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		workers    = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
+		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel (identical results)")
+		out        = fs.String("out", "", "directory to write a CSV result into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, sp := range scenario.Builtin() {
+			fmt.Printf("%-14s %s\n", sp.ID, sp.Title)
+		}
+		return nil
+	}
+	var sp scenario.Spec
+	switch {
+	case *specPath != "" && *name != "":
+		return fmt.Errorf("sweep: -spec and -name are mutually exclusive")
+	case *specPath != "":
+		var err error
+		if sp, err = scenario.Load(*specPath); err != nil {
+			return err
+		}
+	case *name != "":
+		var ok bool
+		if sp, ok = scenario.LookupBuiltin(*name); !ok {
+			return fmt.Errorf("sweep: unknown built-in spec %q (use -list)", *name)
+		}
+	default:
+		return fmt.Errorf("sweep: need -spec <file.json> or -name <id>")
+	}
+	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
+	tb, err := scenario.Run(sp, suite)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tb.String())
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*out, tb.ID+".csv")
+		if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }
 
 // exp runs registered paper experiments on the parallel harness.

@@ -1,0 +1,44 @@
+// Command scenario_sweep shows the declarative scenario subsystem from
+// the library side: a sweep the paper's registry cannot express —
+// grouped-query attention ratios against a heterogeneous serving mix —
+// built as a spec value, compiled onto the workload entry points, and
+// fanned out on the parallel harness. The same spec round-trips through
+// JSON for `stepctl sweep -spec` (see examples/specs/).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"step"
+)
+
+func main() {
+	spec := step.ScenarioSpec{
+		ID:    "gqa-mixed",
+		Title: "GQA ratio under a mixed short/long serving batch",
+		Kind:  "attention",
+		Models: []step.ScenarioModelSpec{
+			{Base: "qwen"},
+		},
+		Scale: 8,
+		Groups: []step.RequestGroup{
+			{Count: 24, KVLen: 512},
+			{Count: 8, KVLen: 4096},
+		},
+		KVHeads:     []int{1, 4, 32},
+		Strategies:  []string{"static-coarse", "dynamic"},
+		CoarseBlock: 8,
+		Compare:     true,
+		// Run the sweep across both harness worker counts and both DES
+		// engines, requiring byte-identical tables.
+		WorkersAxis:    []int{1, 8},
+		SimWorkersAxis: []int{1, 8},
+	}
+	tb, err := step.RunScenario(spec, step.SweepSuite{Seed: 7})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario_sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tb.String())
+}

@@ -49,7 +49,7 @@ func Figure1() *Table {
 // fig8Config is the validation hardware setup (§4.5): on-chip memory units
 // at 256 B/cycle.
 func fig8Config(s Suite) graph.Config {
-	cfg := s.graphConfig()
+	cfg := s.GraphConfig()
 	cfg.Onchip = onchip.Config{BandwidthBytesPerCycle: 256}
 	return cfg
 }
@@ -166,7 +166,7 @@ func Figure18(s Suite) (*Table, error) {
 			out = ops.Map2(g, "atb", aS, bS, fn, ops.ComputeOpts{ComputeBW: 1024})
 		}
 		cap := ops.Capture(g, "cap", out)
-		res, err := g.Run(s.graphConfig())
+		res, err := g.Run(s.GraphConfig())
 		if err != nil {
 			return 0, nil, err
 		}

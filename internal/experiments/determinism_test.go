@@ -1,19 +1,42 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
 
-// TestWorkersDeterminism runs every registered experiment sequentially
-// (Workers=1) and on the pool (Workers=8) and requires the rendered
-// tables to be byte-identical: the harness may only change where sweep
-// points execute, never what they produce or the order they render in.
+	"step/internal/scenario"
+)
+
+// scenarioFamilyRunners wraps the beyond-the-paper scenario families
+// (GQA ratio, long-context decode, mixed serving) as registry-shaped
+// runners so the determinism matrix covers them alongside the paper
+// artifacts.
+func scenarioFamilyRunners() []Runner {
+	specs := []scenario.Spec{scenario.GQARatio(), scenario.LongContext(), scenario.MixedServing()}
+	out := make([]Runner, 0, len(specs))
+	for _, sp := range specs {
+		sp := sp
+		out = append(out, Runner{ID: sp.ID, Desc: sp.Title,
+			Run: func(s Suite) (*Table, error) { return scenario.Run(sp, s) }})
+	}
+	return out
+}
+
+// TestWorkersDeterminism runs every registered experiment — plus the
+// beyond-the-paper scenario families — sequentially (Workers=1) and on
+// the pool (Workers=8) and requires the rendered tables to be
+// byte-identical: the harness may only change where sweep points
+// execute, never what they produce or the order they render in. The
+// full Workers x SimWorkers cross for the scenario families runs in
+// internal/scenario (TestWorkerMatrixDeterminism).
 func TestWorkersDeterminism(t *testing.T) {
 	// Short mode (the CI race job) keeps one representative of each
 	// harness code path: tiling, time-multiplexing, parallelization,
 	// ablation, and end-to-end. The full run covers every registry ID.
 	shortSet := map[string]bool{
 		"fig9": true, "fig12": true, "fig14": true, "fig17": true, "fig21": true,
+		"gqa-ratio": true,
 	}
-	for _, r := range All() {
+	for _, r := range append(All(), scenarioFamilyRunners()...) {
 		r := r
 		if testing.Short() && !shortSet[r.ID] {
 			continue
@@ -76,8 +99,9 @@ func TestSimWorkersDeterminism(t *testing.T) {
 	// end-to-end decoding.
 	shortSet := map[string]bool{
 		"fig9": true, "fig12": true, "fig14": true, "fig17": true, "fig21": true,
+		"mixed-serving": true,
 	}
-	for _, r := range All() {
+	for _, r := range append(All(), scenarioFamilyRunners()...) {
 		r := r
 		if testing.Short() && !shortSet[r.ID] {
 			continue

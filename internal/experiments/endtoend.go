@@ -4,6 +4,7 @@ import (
 	"math"
 	"strconv"
 
+	"step/internal/scenario"
 	"step/internal/trace"
 	"step/internal/workloads"
 )
@@ -15,7 +16,7 @@ import (
 // tiling sweep, mirroring the paper's methodology ("the same closest points
 // along each axis from Fig. 9").
 func Figure17(s Suite) (*Table, error) {
-	s = s.ensurePool()
+	s = s.EnsurePool()
 	t := &Table{
 		ID:     "fig17",
 		Title:  "End-to-end decoder: speedup, on-chip memory, allocated compute",
@@ -40,7 +41,7 @@ func Figure17(s Suite) (*Table, error) {
 	runs, err := parMap(s, len(bases), func(mi int) (modelRun, error) {
 		model := bases[mi].Scaled(ExperimentScale)
 		// Derive matched tile sizes from the tiling sweep.
-		static, dyn, err := runTilingSweep(s, model, batch, []int{8, 16, 32, 64})
+		static, dyn, err := scenario.TilingSweep(s, model, batch, []int{8, 16, 32, 64}, -1)
 		if err != nil {
 			return modelRun{}, err
 		}
@@ -67,7 +68,7 @@ func Figure17(s Suite) (*Table, error) {
 			cfg.SampleLayers = sampleLayers
 			cfg.Skew = trace.SkewHeavy
 			cfg.Seed = s.Seed
-			return workloads.RunDecoder(cfg, s.graphConfig())
+			return workloads.RunDecoder(cfg, s.GraphConfig())
 		})
 		if err != nil {
 			return modelRun{}, err
@@ -104,15 +105,15 @@ func Figure17(s Suite) (*Table, error) {
 
 // matchTiles picks the static tiles closest to the dynamic point on the
 // memory and cycles axes respectively.
-func matchTiles(static []tilingPoint, dyn tilingPoint) (memTile, perfTile int) {
+func matchTiles(static []scenario.TilingPoint, dyn scenario.TilingPoint) (memTile, perfTile int) {
 	bestMem, bestPerf := math.Inf(1), math.Inf(1)
-	memTile, perfTile = static[0].tile, static[0].tile
+	memTile, perfTile = static[0].Tile, static[0].Tile
 	for _, p := range static {
-		if d := math.Abs(math.Log(float64(p.onchip) / float64(dyn.onchip))); d < bestMem {
-			bestMem, memTile = d, p.tile
+		if d := math.Abs(math.Log(float64(p.Onchip) / float64(dyn.Onchip))); d < bestMem {
+			bestMem, memTile = d, p.Tile
 		}
-		if d := math.Abs(math.Log(float64(p.cycles) / float64(dyn.cycles))); d < bestPerf {
-			bestPerf, perfTile = d, p.tile
+		if d := math.Abs(math.Log(float64(p.Cycles) / float64(dyn.Cycles))); d < bestPerf {
+			bestPerf, perfTile = d, p.Tile
 		}
 	}
 	return memTile, perfTile

@@ -2,124 +2,31 @@
 // evaluation: one function per artifact, each producing the same
 // rows/series the paper reports, runnable from the CLI
 // (cmd/experiments), from benchmarks (bench_test.go), or programmatically.
+//
+// The rendering (Table) and fan-out (Suite, worker pool) substrate lives
+// in internal/harness and is shared with the declarative scenario
+// subsystem (internal/scenario); the pure-sweep figures (9, 10, 15, 19,
+// 20) are registered here as canned scenario specs so one code path
+// serves both the paper registry and user-defined sweeps.
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
-	"step/internal/graph"
+	"step/internal/harness"
 )
 
-// Table is a rendered experiment result.
-type Table struct {
-	ID     string // e.g. "fig9"
-	Title  string
-	Header []string
-	Rows   [][]string
-	// Notes carries derived headline numbers (PIDs, speedups).
-	Notes []string
-}
+// Table is a rendered experiment result (see harness.Table).
+type Table = harness.Table
 
-// AddRow appends a formatted row.
-func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
-		default:
-			row[i] = fmt.Sprint(c)
-		}
-	}
-	t.Rows = append(t.Rows, row)
-}
-
-// Notef appends a formatted headline note.
-func (t *Table) Notef(format string, args ...any) {
-	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
-}
-
-// CSV renders the table as CSV.
-func (t *Table) CSV() string {
-	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// String renders an aligned console table with title and notes.
-func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Header)
-	for _, r := range t.Rows {
-		writeRow(r)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "-- %s\n", n)
-	}
-	return b.String()
-}
-
-// Suite configures a run of the experiment set.
-type Suite struct {
-	// Seed drives every synthetic trace.
-	Seed uint64
-	// Quick shrinks sweeps (used by -short tests); full mode matches the
-	// paper's parameter grids.
-	Quick bool
-	// Workers bounds the fan-out of independent sweep points (and of
-	// whole experiments under RunAll). Zero means one worker per CPU
-	// (runtime.GOMAXPROCS(0)); 1 runs everything sequentially on the
-	// calling goroutine, preserving the pre-harness behavior for
-	// debugging. Rendered tables are byte-identical at any worker count.
-	Workers int
-	// SimWorkers selects the DES engine inside each simulation: 0 or 1
-	// runs the sequential reference engine; >= 2 runs the DAM-style
-	// conservative parallel engine (one goroutine per dataflow block,
-	// per-process local clocks). Both engines produce byte-identical
-	// tables; see internal/des.
-	SimWorkers int
-	// sem is the shared worker-token pool (see Suite.ensurePool):
-	// nested sweeps draw from one budget so total concurrency stays
-	// bounded by Workers at any fan-out depth.
-	sem chan struct{}
-}
+// Suite configures a run of the experiment set (see harness.Suite).
+type Suite = harness.Suite
 
 // DefaultSuite is the reproducible default.
 func DefaultSuite() Suite { return Suite{Seed: 7} }
 
-// graphConfig is the standard per-simulation configuration with the
-// suite's DES engine selection applied.
-func (s Suite) graphConfig() graph.Config {
-	cfg := graph.DefaultConfig()
-	cfg.SimWorkers = s.SimWorkers
-	return cfg
+// parMap fans fn(0..n-1) out on the suite's shared worker pool; see
+// harness.ParMap.
+func parMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
+	return harness.ParMap(s, n, fn)
 }
 
 // Runner is an experiment entry point.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"step/internal/scenario"
 	"step/internal/trace"
 	"step/internal/workloads"
 )
@@ -22,7 +23,7 @@ func runAttention(s Suite, model workloads.ModelConfig, kv []int, strategy workl
 	if err != nil {
 		return 0, err
 	}
-	res, err := a.Graph.Run(s.graphConfig())
+	res, err := a.Graph.Run(s.GraphConfig())
 	if err != nil {
 		return 0, err
 	}
@@ -32,7 +33,7 @@ func runAttention(s Suite, model workloads.ModelConfig, kv []int, strategy workl
 // Figure14 compares dynamic parallelization against static interleaved
 // across KV-length variance classes at batch 64.
 func Figure14(s Suite) (*Table, error) {
-	s = s.ensurePool()
+	s = s.EnsurePool()
 	t := &Table{
 		ID:     "fig14",
 		Title:  "Dynamic parallelization vs static interleaved (batch=64)",
@@ -63,43 +64,19 @@ func Figure14(s Suite) (*Table, error) {
 }
 
 // Figure15 compares static coarse-grained parallelization with dynamic
-// across batch sizes (coarse blocks of 16 requests per region).
+// across batch sizes (coarse blocks of 16 requests per region). Coarse
+// fixes 16 requests per region regardless of batch, so small batches
+// leave regions idle (§5.4). The sweep is a pure batch-by-strategy
+// grid, registered as a canned scenario spec.
 func Figure15(s Suite) (*Table, error) {
-	s = s.ensurePool()
-	t := &Table{
-		ID:     "fig15",
-		Title:  "Static coarse vs dynamic parallelization across batch sizes",
-		Header: []string{"Batch", "CoarseCycles", "DynamicCycles", "Speedup"},
-	}
-	model := workloads.Qwen3Config().Scaled(ExperimentScale)
-	batches := []int{16, 32, 48, 64}
-	// Coarse fixes 16 requests per region regardless of batch, so small
-	// batches leave regions idle (§5.4). Both strategies of every batch
-	// size are independent simulations, fanned out on the pool.
-	cycles, err := parMap(s, 2*len(batches), func(i int) (uint64, error) {
-		b := batches[i/2]
-		kv := trace.SampleKVLengths(b, 2048, trace.VarMed, s.Seed+uint64(b))
-		if i%2 == 0 {
-			return runAttention(s, model, kv, workloads.StaticCoarse, nil, 16)
-		}
-		return runAttention(s, model, kv, workloads.DynamicParallel, nil, 0)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, b := range batches {
-		cc, dc := cycles[2*i], cycles[2*i+1]
-		t.AddRow(b, cc, dc, float64(cc)/float64(dc))
-	}
-	t.Notef("largest win at batch=16 where coarse leaves regions idle (paper: 2.72x at 16, 1.43x at 64)")
-	return t, nil
+	return scenario.Run(scenario.Fig15(), s)
 }
 
 // Figure21 is the parallelization ablation: all three strategies across
 // batch compositions and variance classes, normalized to dynamic, geomean
 // over three sampled batches.
 func Figure21(s Suite) (*Table, error) {
-	s = s.ensurePool()
+	s = s.EnsurePool()
 	t := &Table{
 		ID:     "fig21",
 		Title:  "Parallelization ablation (normalized cycles vs dynamic)",

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -30,12 +32,12 @@ func RunAll(s Suite, runners []Runner) []Outcome {
 // time, so under a shared pool it includes contention with concurrently
 // running experiments.
 func RunAllProgress(s Suite, runners []Runner, progress func(Outcome)) []Outcome {
-	s = s.ensurePool()
+	s = s.EnsurePool()
 	var reportMu sync.Mutex
-	out, _ := parMap(s, len(runners), func(i int) (Outcome, error) {
+	out, err := parMap(s, len(runners), func(i int) (Outcome, error) {
 		r := runners[i]
 		start := time.Now()
-		tb, err := r.Run(s)
+		tb, err := safeRun(r, s)
 		oc := Outcome{Index: i, Runner: r, Table: tb, Err: err, Elapsed: time.Since(start)}
 		if progress != nil {
 			reportMu.Lock()
@@ -44,5 +46,26 @@ func RunAllProgress(s Suite, runners []Runner, progress func(Outcome)) []Outcome
 		}
 		return oc, nil
 	})
+	if err != nil {
+		// The point functions never return errors (runner failures land
+		// in their Outcome via safeRun), so the only possible source is
+		// a panic in the caller's progress callback, recovered by
+		// harness.ParMap. Re-panic rather than silently returning a
+		// partial outcome slice as if the evaluation succeeded.
+		panic(err)
+	}
 	return out
+}
+
+// safeRun invokes the runner, converting a panic into the outcome's
+// error: one crashing experiment must report itself by ID instead of
+// killing the evaluation process. Panics inside an experiment's own
+// sweep fan-out are already recovered per point by harness.ParMap.
+func safeRun(r Runner, s Suite) (tb *Table, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			tb, err = nil, fmt.Errorf("experiments: %s panicked: %v\n%s", r.ID, rec, debug.Stack())
+		}
+	}()
+	return r.Run(s)
 }

@@ -1,167 +1,25 @@
 package experiments
 
 import (
-	"fmt"
-
-	"step/internal/sched"
-	"step/internal/trace"
-	"step/internal/workloads"
+	"step/internal/scenario"
 )
 
 // ExperimentScale shrinks model feature dimensions uniformly to keep
 // discrete-event counts tractable (see ModelConfig.Scaled).
 const ExperimentScale = 8
 
-// tilingPoint is one design point of the Figs. 9/10/19/20 sweeps.
-type tilingPoint struct {
-	label   string
-	tile    int // 0 = dynamic
-	cycles  uint64
-	onchip  int64
-	traffic int64
-}
-
-// runTilingSweep measures static tile sizes plus dynamic tiling for one
-// model and batch size. Large batches bound dynamic tiles at 128 rows so
-// experts emit tiles while the batch still routes (see
-// MoELayerConfig.DynamicCap).
-func runTilingSweep(s Suite, model workloads.ModelConfig, batch int, tiles []int) ([]tilingPoint, tilingPoint, error) {
-	routing, err := trace.SampleExpertRouting(batch, model.NumExperts, model.TopK, trace.SkewHeavy, s.Seed)
-	if err != nil {
-		return nil, tilingPoint{}, err
-	}
-	dynCap := 0
-	if batch > 256 {
-		dynCap = 128
-	}
-	run := func(tileSize int, dynamic bool) (tilingPoint, error) {
-		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
-			Model: model, Batch: batch,
-			TileSize: tileSize, Dynamic: dynamic, DynamicCap: dynCap,
-			Routing: routing, Seed: s.Seed,
-		})
-		if err != nil {
-			return tilingPoint{}, err
-		}
-		res, err := l.Graph.Run(s.graphConfig())
-		if err != nil {
-			return tilingPoint{}, err
-		}
-		oc, err := l.OnchipBytes()
-		if err != nil {
-			return tilingPoint{}, err
-		}
-		label := fmt.Sprintf("tile=%d", tileSize)
-		if dynamic {
-			label = "dynamic"
-		}
-		return tilingPoint{
-			label: label, tile: tileSize,
-			cycles: uint64(res.Cycles), onchip: oc, traffic: res.OffchipTrafficBytes,
-		}, nil
-	}
-	// Every sweep point is an independent simulation: fan the static
-	// tiles plus the dynamic point (the last index) out on the pool.
-	pts, err := parMap(s, len(tiles)+1, func(i int) (tilingPoint, error) {
-		if i == len(tiles) {
-			return run(0, true)
-		}
-		return run(tiles[i], false)
-	})
-	if err != nil {
-		return nil, tilingPoint{}, err
-	}
-	return pts[:len(tiles)], pts[len(tiles)], nil
-}
-
-// tilingTable renders a sweep with Pareto headline numbers.
-func tilingTable(id, title string, s Suite, batch int, tiles []int, useTraffic bool) (*Table, error) {
-	s = s.ensurePool()
-	t := &Table{
-		ID:     id,
-		Title:  title,
-		Header: []string{"Model", "Schedule", "Cycles", "OnchipBytes", "TrafficBytes"},
-	}
-	models := []workloads.ModelConfig{
-		workloads.MixtralConfig().Scaled(ExperimentScale),
-		workloads.Qwen3Config().Scaled(ExperimentScale),
-	}
-	type sweep struct {
-		static []tilingPoint
-		dyn    tilingPoint
-	}
-	// Sweep both models concurrently; rows are rendered afterwards in
-	// model order so the table is identical at any worker count.
-	sweeps, err := parMap(s, len(models), func(i int) (sweep, error) {
-		static, dyn, err := runTilingSweep(s, models[i], batch, tiles)
-		return sweep{static, dyn}, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, model := range models {
-		static, dyn := sweeps[i].static, sweeps[i].dyn
-		var base []sched.Point
-		for _, p := range static {
-			t.AddRow(model.Name, p.label, p.cycles, p.onchip, p.traffic)
-			y := float64(p.cycles)
-			if useTraffic {
-				y = float64(p.traffic)
-			}
-			base = append(base, sched.Point{Label: p.label, Cycles: y, Mem: float64(p.onchip)})
-		}
-		t.AddRow(model.Name, dyn.label, dyn.cycles, dyn.onchip, dyn.traffic)
-		y := float64(dyn.cycles)
-		if useTraffic {
-			y = float64(dyn.traffic)
-		}
-		dp := sched.Point{Label: "dynamic", Cycles: y, Mem: float64(dyn.onchip)}
-		pid, err := sched.PID(dp, base)
-		if err != nil {
-			return nil, err
-		}
-		sp, ms, err := sched.ImprovementVsClosest(dp, base)
-		if err != nil {
-			return nil, err
-		}
-		metric := "speedup"
-		if useTraffic {
-			metric = "traffic saving"
-		}
-		t.Notef("%s: PID=%.2fx; %s vs memory-matched static %.2fx; memory saving vs perf-matched static %.2fx",
-			model.Name, pid, metric, sp, ms)
-	}
-	return t, nil
-}
+// The tiling-sweep figures are pure sweeps: each is a canned scenario
+// spec (internal/scenario), so the paper registry and user-defined
+// `stepctl sweep` specs share one compiler.
 
 // Figure9 is the batch-64 dynamic-tiling Pareto experiment.
-func Figure9(s Suite) (*Table, error) {
-	return tilingTable("fig9", "Tiling strategies, per-expert batch dim (batch=64): latency vs on-chip memory",
-		s, 64, []int{8, 16, 32, 64}, false)
-}
+func Figure9(s Suite) (*Table, error) { return scenario.Run(scenario.Fig9(), s) }
 
 // Figure10 is the batch-1024 variant.
-func Figure10(s Suite) (*Table, error) {
-	tiles := []int{16, 64, 256, 1024}
-	if s.Quick {
-		tiles = []int{16, 256}
-	}
-	return tilingTable("fig10", "Tiling strategies (batch=1024): latency vs on-chip memory",
-		s, 1024, tiles, false)
-}
+func Figure10(s Suite) (*Table, error) { return scenario.Run(scenario.Fig10(), s) }
 
 // Figure19 reports the off-chip-traffic view of the batch-64 sweep.
-func Figure19(s Suite) (*Table, error) {
-	return tilingTable("fig19", "Tiling strategies (batch=64): off-chip traffic vs on-chip memory",
-		s, 64, []int{8, 16, 32, 64}, true)
-}
+func Figure19(s Suite) (*Table, error) { return scenario.Run(scenario.Fig19(), s) }
 
 // Figure20 reports the off-chip-traffic view of the batch-1024 sweep.
-func Figure20(s Suite) (*Table, error) {
-	tiles := []int{16, 64, 256, 1024}
-	if s.Quick {
-		tiles = []int{16, 256}
-	}
-	return tilingTable("fig20", "Tiling strategies (batch=1024): off-chip traffic vs on-chip memory",
-		s, 1024, tiles, true)
-}
+func Figure20(s Suite) (*Table, error) { return scenario.Run(scenario.Fig20(), s) }

@@ -35,7 +35,7 @@ func runTimeshareSweep(s Suite, dynamic bool, tileSize int, regions []int) ([]ti
 		if err != nil {
 			return timesharePoint{}, err
 		}
-		cfg := s.graphConfig()
+		cfg := s.GraphConfig()
 		res, err := l.Graph.Run(cfg)
 		if err != nil {
 			return timesharePoint{}, err
@@ -67,7 +67,7 @@ func timeshareRegions(quick bool) []int {
 // Figure12 reports compute utilization and cycles across region counts for
 // static and dynamic tiling.
 func Figure12(s Suite) (*Table, error) {
-	s = s.ensurePool()
+	s = s.EnsurePool()
 	t := &Table{
 		ID:     "fig12",
 		Title:  "Time-multiplexing: compute utilization (Qwen MoE, batch=64)",
@@ -117,7 +117,7 @@ func Figure12(s Suite) (*Table, error) {
 // Figure13 reports the resource view of the same sweep: cycles, on-chip
 // memory, allocated compute, and off-chip bandwidth utilization.
 func Figure13(s Suite) (*Table, error) {
-	s = s.ensurePool()
+	s = s.EnsurePool()
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Time-multiplexing: resources (Qwen MoE, tile=32, batch=64)",

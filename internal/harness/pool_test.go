@@ -1,7 +1,8 @@
-package experiments
+package harness
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestParMapCollectsByIndex(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 16} {
-		got, err := parMap(Suite{Workers: workers}, 10, func(i int) (int, error) { return i * i, nil })
+		got, err := ParMap(Suite{Workers: workers}, 10, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -26,7 +27,7 @@ func TestParMapCollectsByIndex(t *testing.T) {
 }
 
 func TestParMapEmpty(t *testing.T) {
-	got, err := parMap(Suite{Workers: 4}, 0, func(i int) (int, error) { return 0, errors.New("never called") })
+	got, err := ParMap(Suite{Workers: 4}, 0, func(i int) (int, error) { return 0, errors.New("never called") })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("got %v, %v", got, err)
 	}
@@ -35,7 +36,7 @@ func TestParMapEmpty(t *testing.T) {
 func TestParMapErrorPropagation(t *testing.T) {
 	boom := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		_, err := parMap(Suite{Workers: workers}, 8, func(i int) (int, error) {
+		_, err := ParMap(Suite{Workers: workers}, 8, func(i int) (int, error) {
 			if i == 3 {
 				return 0, boom
 			}
@@ -57,7 +58,7 @@ func TestParMapEarlyCancellation(t *testing.T) {
 	var started atomic.Int64
 	release := make(chan struct{})
 	var once sync.Once
-	_, err := parMap(Suite{Workers: 2}, n, func(i int) (int, error) {
+	_, err := ParMap(Suite{Workers: 2}, n, func(i int) (int, error) {
 		started.Add(1)
 		if i == 0 {
 			// Fail only after at least one other job has run, so the
@@ -85,7 +86,7 @@ func TestParMapEarlyCancellation(t *testing.T) {
 func TestParMapSequentialStopsAtFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	var calls int
-	_, err := parMap(Suite{Workers: 1}, 8, func(i int) (int, error) {
+	_, err := ParMap(Suite{Workers: 1}, 8, func(i int) (int, error) {
 		calls++
 		if i == 2 {
 			return 0, boom
@@ -105,7 +106,7 @@ func TestParMapSequentialStopsAtFirstError(t *testing.T) {
 // inner sweep must never execute more than 3 jobs concurrently —
 // inner levels degrade to inline execution when the tokens are spent.
 func TestParMapNestedBudget(t *testing.T) {
-	s := Suite{Workers: 3}.ensurePool()
+	s := Suite{Workers: 3}.EnsurePool()
 	var cur, peak atomic.Int64
 	job := func() {
 		c := cur.Add(1)
@@ -118,8 +119,8 @@ func TestParMapNestedBudget(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 		cur.Add(-1)
 	}
-	_, err := parMap(s, 4, func(i int) (int, error) {
-		_, err := parMap(s, 4, func(j int) (int, error) {
+	_, err := ParMap(s, 4, func(i int) (int, error) {
+		_, err := ParMap(s, 4, func(j int) (int, error) {
 			job()
 			return 0, nil
 		})
@@ -142,32 +143,59 @@ func TestEffectiveWorkers(t *testing.T) {
 	}
 }
 
-func TestRunAllReportsPerOutcome(t *testing.T) {
-	boom := errors.New("boom")
-	runners := []Runner{
-		{ID: "ok", Desc: "works", Run: func(Suite) (*Table, error) {
-			return &Table{ID: "ok"}, nil
-		}},
-		{ID: "bad", Desc: "fails", Run: func(Suite) (*Table, error) {
-			return nil, boom
-		}},
-		{ID: "ok2", Desc: "still runs after a failure", Run: func(Suite) (*Table, error) {
-			return &Table{ID: "ok2"}, nil
-		}},
-	}
+// TestParMapRecoversPanic checks the worker-crash path: a panic inside a
+// sweep-point fn must not kill the process — it converts to a
+// *PointPanicError carrying the point index and propagates through the
+// normal first-error path, both inline (Workers=1) and on the pool.
+func TestParMapRecoversPanic(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		out := RunAll(Suite{Workers: workers}, runners)
-		if len(out) != 3 {
-			t.Fatalf("workers=%d: %d outcomes", workers, len(out))
+		_, err := ParMap(Suite{Workers: workers}, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic swallowed", workers)
 		}
-		if out[0].Err != nil || out[0].Table.ID != "ok" {
-			t.Fatalf("workers=%d: outcome 0: %+v", workers, out[0])
+		var pe *PointPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err %T, want *PointPanicError", workers, err)
 		}
-		if !errors.Is(out[1].Err, boom) || out[1].Table != nil {
-			t.Fatalf("workers=%d: outcome 1: %+v", workers, out[1])
+		if pe.Index != 3 {
+			t.Fatalf("workers=%d: panicked point %d, want 3", workers, pe.Index)
 		}
-		if out[2].Err != nil || out[2].Table.ID != "ok2" {
-			t.Fatalf("workers=%d: a failure must not mask later runners: %+v", workers, out[2])
+		if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: lost panic context: %+v", workers, pe)
 		}
+		if !strings.Contains(err.Error(), "point 3") {
+			t.Fatalf("workers=%d: error message hides the point index: %v", workers, err)
+		}
+	}
+}
+
+// TestParMapPanicDoesNotMaskResults checks that with many workers a
+// single panicking point still lets in-flight siblings complete and the
+// pool drains cleanly (no deadlock, no secondary crash): point 0 holds
+// its panic until a sibling has run, so both orders are exercised.
+func TestParMapPanicDoesNotMaskResults(t *testing.T) {
+	var ran atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	_, err := ParMap(Suite{Workers: 8}, 64, func(i int) (int, error) {
+		if i == 0 {
+			<-release
+			panic(i)
+		}
+		ran.Add(1)
+		once.Do(func() { close(release) })
+		return i, nil
+	})
+	var pe *PointPanicError
+	if !errors.As(err, &pe) || pe.Index != 0 {
+		t.Fatalf("err=%v, want point-0 panic", err)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("no sibling jobs ran")
 	}
 }

@@ -1,0 +1,103 @@
+// Package harness holds the experiment-running substrate shared by the
+// paper's artifact registry (internal/experiments) and the declarative
+// scenario subsystem (internal/scenario): the rendered Table type, the
+// Suite configuration, and the bounded worker pool that fans independent
+// sweep points out across CPUs while keeping results byte-identical at
+// any worker count.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig9"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries derived headline numbers (PIDs, speedups).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Notef appends a formatted headline note.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// CSV renders the table as RFC 4180 CSV (encoding/csv): cells containing
+// commas, quotes, or newlines are quoted, so scenario labels like
+// "interleaved, coarse" survive a round trip. Tables whose cells need no
+// quoting render exactly as a plain comma join, which keeps historical
+// seq-vs-par determinism diffs byte-identical.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	// strings.Builder writes cannot fail, and csv.Writer imposes no
+	// record-shape constraints, so errors are impossible here; Flush
+	// below would surface any future ones via Error.
+	_ = w.Write(t.Header)
+	for _, r := range t.Rows {
+		_ = w.Write(r)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// String renders an aligned console table with title and notes. Column
+// widths are sized over the header and every row, so ragged rows (wider
+// or narrower than the header) render safely instead of panicking.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "-- %s\n", n)
+	}
+	return b.String()
+}

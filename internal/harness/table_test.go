@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// TestStringRaggedRows is the regression for the widths panic: a row
+// with more cells than the header used to index past the header-sized
+// widths slice. Ragged rows (both wider and narrower) must render.
+func TestStringRaggedRows(t *testing.T) {
+	tb := &Table{ID: "x", Title: "ragged", Header: []string{"a", "b"}}
+	tb.Rows = [][]string{
+		{"1"},                              // narrower than the header
+		{"22", "333", "4444", "55555"},     // wider than the header
+		{"a-very-wide-cell", "x", "extra"}, // wide cell in a ragged row
+	}
+	s := tb.String() // must not panic
+	for _, want := range []string{"55555", "a-very-wide-cell", "extra"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table lost cell %q:\n%s", want, s)
+		}
+	}
+	// Alignment still holds for the shared columns: the widest cell of
+	// column 0 sizes the header's first column.
+	lines := strings.Split(s, "\n")
+	if !strings.HasPrefix(lines[1], "a"+strings.Repeat(" ", len("a-very-wide-cell")-1)) {
+		t.Fatalf("header not padded to widest row cell:\n%s", s)
+	}
+}
+
+// TestCSVQuoting checks RFC 4180 rendering: commas, quotes, and
+// newlines in cells must survive a csv.Reader round trip instead of
+// corrupting the column structure.
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{ID: "x", Header: []string{"Schedule", "Cycles"}}
+	tb.AddRow(`interleaved, coarse`, 12)
+	tb.AddRow(`say "hi"`, 34)
+	tb.AddRow("line\nbreak", 56)
+	got := tb.CSV()
+	recs, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, got)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("%d records, want 4 (header + 3 rows):\n%s", len(recs), got)
+	}
+	want := [][]string{
+		{"Schedule", "Cycles"},
+		{"interleaved, coarse", "12"},
+		{`say "hi"`, "34"},
+		{"line\nbreak", "56"},
+	}
+	for i, w := range want {
+		if len(recs[i]) != len(w) {
+			t.Fatalf("record %d has %d fields, want %d", i, len(recs[i]), len(w))
+		}
+		for j := range w {
+			if recs[i][j] != w[j] {
+				t.Fatalf("record %d field %d = %q, want %q", i, j, recs[i][j], w[j])
+			}
+		}
+	}
+}
+
+// TestCSVPlainCellsUnchanged pins the compatibility guarantee: tables
+// whose cells need no quoting render exactly as the historical plain
+// comma join, keeping determinism diffs byte-identical.
+func TestCSVPlainCellsUnchanged(t *testing.T) {
+	tb := &Table{ID: "x", Header: []string{"a", "b", "c"}}
+	tb.AddRow(1, 2.5, "tile=16")
+	tb.AddRow("dynamic", uint64(42), -3)
+	want := "a,b,c\n1,2.5,tile=16\ndynamic,42,-3\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("plain CSV changed:\ngot  %q\nwant %q", got, want)
+	}
+}

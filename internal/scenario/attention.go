@@ -1,0 +1,256 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"step/internal/harness"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// attnResult is one simulated attention grid point.
+type attnResult struct {
+	cycles  uint64
+	kvBytes int64 // total KV-cache footprint of the batch
+}
+
+// runAttention compiles an attention spec: the cross product of models,
+// batch sizes (or a heterogeneous request-group mix), KV-length means,
+// GQA KV-head counts, and parallelization strategies, each point one
+// self-contained decode-attention simulation.
+func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
+	s = s.EnsurePool()
+	models, err := sp.resolveModels()
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve axes, collapsing empty ones onto the fixed parameters.
+	batches := sp.Batches
+	mixLabel := ""
+	var groupLens []int
+	if len(sp.Groups) > 0 {
+		var parts []string
+		for _, g := range sp.Groups {
+			for i := 0; i < g.Count; i++ {
+				groupLens = append(groupLens, g.KVLen)
+			}
+			parts = append(parts, fmt.Sprintf("%dx%d", g.Count, g.KVLen))
+		}
+		mixLabel = strings.Join(parts, "+")
+		batches = []int{len(groupLens)}
+	} else if len(batches) == 0 {
+		b := sp.Batch
+		if b == 0 {
+			b = 64
+		}
+		batches = []int{b}
+	}
+	kvMeans := sp.KVMeans
+	if len(kvMeans) == 0 {
+		kv := sp.KVMean
+		if kv == 0 {
+			kv = 2048
+		}
+		kvMeans = []float64{kv}
+	}
+	hasGQA := len(sp.KVHeads) > 0
+	kvHeads := sp.KVHeads
+	if !hasGQA {
+		kvHeads = []int{0} // sentinel: keep the model's own KVHeads
+	}
+	strategies := sp.Strategies
+	if len(strategies) == 0 {
+		strategies = []string{"dynamic"}
+	}
+	variance, err := parseVariance(sp.KVVariance)
+	if err != nil {
+		return nil, err
+	}
+	regions := sp.Regions
+	if regions == 0 {
+		regions = 4
+	}
+	kvChunk := sp.KVChunk
+	if kvChunk == 0 {
+		kvChunk = 64
+	}
+
+	nM, nB, nK, nH, nS := len(models), len(batches), len(kvMeans), len(kvHeads), len(strategies)
+	// Flattened grid, strategy innermost; the row rendering below walks
+	// the same order, so tables are identical at any worker count.
+	results, err := harness.ParMap(s, nM*nB*nK*nH*nS, func(idx int) (attnResult, error) {
+		si := idx % nS
+		hi := idx / nS % nH
+		ki := idx / (nS * nH) % nK
+		bi := idx / (nS * nH * nK) % nB
+		mi := idx / (nS * nH * nK * nB)
+		model := models[mi]
+		if hasGQA {
+			model.KVHeads = kvHeads[hi]
+		}
+		b := batches[bi]
+		kvLens := groupLens
+		if kvLens == nil {
+			seed := s.Seed
+			if sp.SeedPerBatch {
+				seed += uint64(b)
+			}
+			kvLens = trace.SampleKVLengths(b, kvMeans[ki], variance, seed)
+		}
+		strat, err := parseStrategy(strategies[si])
+		if err != nil {
+			return attnResult{}, err
+		}
+		a, err := workloads.BuildAttention(workloads.AttentionConfig{
+			Model:       model,
+			KVLens:      kvLens,
+			Strategy:    strat,
+			Regions:     regions,
+			KVChunk:     kvChunk,
+			CoarseBlock: sp.CoarseBlock,
+		})
+		if err != nil {
+			return attnResult{}, err
+		}
+		res, err := a.Graph.Run(s.GraphConfig())
+		if err != nil {
+			return attnResult{}, err
+		}
+		var total int64
+		for _, l := range kvLens {
+			total += int64(l)
+		}
+		return attnResult{cycles: uint64(res.Cycles), kvBytes: total * model.KVBytesPerToken()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	at := func(mi, bi, ki, hi, si int) attnResult {
+		return results[(((mi*nB+bi)*nK+ki)*nH+hi)*nS+si]
+	}
+
+	// The column set mirrors the active axes.
+	showModel := nM > 1
+	showBatch := nB > 1 || mixLabel != ""
+	showKVMean := nK > 1
+	showStrategy := nS > 1 && !sp.Compare
+	showKVBytes := showKVMean || hasGQA || mixLabel != ""
+	var header []string
+	if showModel {
+		header = append(header, "Model")
+	}
+	if showBatch {
+		header = append(header, "Batch")
+	}
+	if showKVMean {
+		header = append(header, "KVMeanTokens")
+	}
+	if hasGQA {
+		header = append(header, "KVHeads", "GQARatio", "KVBytesPerToken")
+	}
+	if showStrategy {
+		header = append(header, "Strategy")
+	}
+	if sp.Compare {
+		for _, st := range strategies {
+			header = append(header, strategyColumn(st)+"Cycles")
+		}
+		header = append(header, "Speedup")
+	} else {
+		header = append(header, "Cycles")
+		if showKVBytes {
+			header = append(header, "KVCacheBytes")
+		}
+	}
+	t := &harness.Table{ID: sp.ID, Title: sp.Title, Header: header}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+
+	for mi, model := range models {
+		for bi, b := range batches {
+			for ki, kv := range kvMeans {
+				for hi, kh := range kvHeads {
+					labels := make([]any, 0, len(header))
+					if showModel {
+						labels = append(labels, model.Name)
+					}
+					if showBatch {
+						if mixLabel != "" {
+							labels = append(labels, mixLabel)
+						} else {
+							labels = append(labels, b)
+						}
+					}
+					if showKVMean {
+						labels = append(labels, meanLabel(kv))
+					}
+					if hasGQA {
+						gm := model
+						gm.KVHeads = kh
+						labels = append(labels, kh,
+							float64(model.QHeads)/float64(kh), gm.KVBytesPerToken())
+					}
+					if sp.Compare {
+						row := labels
+						for si := range strategies {
+							row = append(row, at(mi, bi, ki, hi, si).cycles)
+						}
+						first := at(mi, bi, ki, hi, 0).cycles
+						last := at(mi, bi, ki, hi, nS-1).cycles
+						row = append(row, float64(first)/float64(last))
+						t.AddRow(row...)
+						continue
+					}
+					for si, st := range strategies {
+						r := at(mi, bi, ki, hi, si)
+						row := append([]any(nil), labels...)
+						if showStrategy {
+							row = append(row, st)
+						}
+						row = append(row, r.cycles)
+						if showKVBytes {
+							row = append(row, r.kvBytes)
+						}
+						t.AddRow(row...)
+					}
+				}
+			}
+		}
+	}
+
+	// Computed headline notes for the beyond-the-paper axes: endpoint
+	// ratios at the first batch/KV-mean/strategy combo.
+	if hasGQA && nH > 1 {
+		for mi, model := range models {
+			lo, hi := at(mi, 0, 0, 0, 0), at(mi, 0, 0, nH-1, 0)
+			t.Notef("%s: KVHeads %d vs %d: KV-cache bytes %.3gx, cycles %.3gx",
+				model.Name, kvHeads[0], kvHeads[nH-1],
+				float64(lo.kvBytes)/float64(hi.kvBytes),
+				float64(lo.cycles)/float64(hi.cycles))
+		}
+	}
+	if nK > 1 {
+		for mi, model := range models {
+			lo, hi := at(mi, 0, 0, 0, 0), at(mi, 0, nK-1, 0, 0)
+			t.Notef("%s: KV mean %v -> %v: cycles %.2fx, KV-cache bytes %.2fx",
+				model.Name, meanLabel(kvMeans[0]), meanLabel(kvMeans[nK-1]),
+				float64(hi.cycles)/float64(lo.cycles),
+				float64(hi.kvBytes)/float64(lo.kvBytes))
+		}
+	}
+	t.Notes = append(t.Notes, sp.Notes...)
+	return t, nil
+}
+
+// meanLabel renders a KV-mean axis value: integral means print as
+// integers (16384, not 1.638e+04).
+func meanLabel(v float64) any {
+	if v == math.Trunc(v) {
+		return int64(v)
+	}
+	return v
+}

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"step/internal/harness"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// decoderResult is one simulated decoder grid point.
+type decoderResult struct {
+	cycles  uint64
+	onchip  int64
+	traffic int64
+	allocBW int64
+}
+
+// runDecoder compiles a decoder spec: models x batch sizes x schedules
+// through workloads.RunDecoder, reporting end-to-end latency, on-chip
+// footprint, off-chip traffic, and allocated compute.
+func runDecoder(sp Spec, s harness.Suite) (*harness.Table, error) {
+	s = s.EnsurePool()
+	models, err := sp.resolveModels()
+	if err != nil {
+		return nil, err
+	}
+	batches := sp.Batches
+	var groupLens []int
+	if len(sp.Groups) > 0 {
+		for _, g := range sp.Groups {
+			for i := 0; i < g.Count; i++ {
+				groupLens = append(groupLens, g.KVLen)
+			}
+		}
+		batches = []int{len(groupLens)}
+	} else if len(batches) == 0 {
+		b := sp.Batch
+		if b == 0 {
+			b = 64
+		}
+		batches = []int{b}
+	}
+	schedules := sp.Strategies
+	if len(schedules) == 0 {
+		schedules = []string{"dynamic"}
+	}
+	kvMean := sp.KVMean
+	if kvMean == 0 {
+		kvMean = 2048
+	}
+	variance, err := parseVariance(sp.KVVariance)
+	if err != nil {
+		return nil, err
+	}
+	skew, err := parseSkew(sp.Skew)
+	if err != nil {
+		return nil, err
+	}
+	sampleLayers := sp.SampleLayers
+	if sampleLayers == 0 {
+		sampleLayers = 2
+		if s.Quick {
+			sampleLayers = 1
+		}
+	}
+
+	nM, nB, nS := len(models), len(batches), len(schedules)
+	results, err := harness.ParMap(s, nM*nB*nS, func(idx int) (decoderResult, error) {
+		si := idx % nS
+		bi := idx / nS % nB
+		mi := idx / (nS * nB)
+		model := models[mi]
+		b := batches[bi]
+		sched, err := parseSchedule(schedules[si])
+		if err != nil {
+			return decoderResult{}, err
+		}
+		kvLens := groupLens
+		if kvLens == nil {
+			seed := s.Seed
+			if sp.SeedPerBatch {
+				seed += uint64(b)
+			}
+			kvLens = trace.SampleKVLengths(b, kvMean, variance, seed)
+		}
+		res, err := workloads.RunDecoder(workloads.DecoderConfig{
+			Model:        model,
+			Batch:        b,
+			KVLens:       kvLens,
+			MoETile:      sched.moeTile,
+			MoEDynamic:   sched.moeDynamic,
+			MoERegions:   sp.MoERegions,
+			AttnStrategy: sched.attn,
+			AttnRegions:  sp.Regions,
+			SampleLayers: sampleLayers,
+			Skew:         skew,
+			Seed:         s.Seed,
+		}, s.GraphConfig())
+		if err != nil {
+			return decoderResult{}, err
+		}
+		return decoderResult{
+			cycles:  uint64(res.CyclesTotal),
+			onchip:  res.OnchipBytes,
+			traffic: res.TrafficBytes,
+			allocBW: res.AllocatedComputeBW,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	showModel := nM > 1
+	showBatch := nB > 1
+	var header []string
+	if showModel {
+		header = append(header, "Model")
+	}
+	if showBatch {
+		header = append(header, "Batch")
+	}
+	header = append(header, "Schedule", "CyclesTotal", "OnchipBytes", "TrafficBytes", "AllocComputeFLOPs/cyc")
+	t := &harness.Table{ID: sp.ID, Title: sp.Title, Header: header}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+	at := func(mi, bi, si int) decoderResult { return results[(mi*nB+bi)*nS+si] }
+	for mi, model := range models {
+		for bi, b := range batches {
+			for si, name := range schedules {
+				r := at(mi, bi, si)
+				row := make([]any, 0, len(header))
+				if showModel {
+					row = append(row, model.Name)
+				}
+				if showBatch {
+					row = append(row, b)
+				}
+				row = append(row, name, r.cycles, r.onchip, r.traffic, r.allocBW)
+				t.AddRow(row...)
+			}
+			if nS > 1 {
+				first, last := at(mi, bi, 0), at(mi, bi, nS-1)
+				t.Notef("%s b=%d: %s vs %s speedup %.2fx, onchip %.2fx",
+					model.Name, b, schedules[nS-1], schedules[0],
+					float64(first.cycles)/float64(last.cycles),
+					float64(first.onchip)/float64(last.onchip))
+			}
+		}
+	}
+	t.Notes = append(t.Notes, sp.Notes...)
+	return t, nil
+}

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+
+	"step/internal/harness"
+)
+
+// Run compiles the spec's grid and executes it on the suite's worker
+// pool, returning the rendered table. When the spec declares
+// WorkersAxis / SimWorkersAxis, the whole sweep runs once per setting
+// and the rendered tables must be byte-identical — the determinism
+// guarantee as a declarative check — with the matrix recorded in a note.
+func Run(sp Spec, s harness.Suite) (*harness.Table, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sp.WorkersAxis) == 0 && len(sp.SimWorkersAxis) == 0 {
+		return runKind(sp, s)
+	}
+	wAxis, swAxis := sp.WorkersAxis, sp.SimWorkersAxis
+	if len(wAxis) == 0 {
+		wAxis = []int{s.Workers}
+	}
+	if len(swAxis) == 0 {
+		swAxis = []int{s.SimWorkers}
+	}
+	var base *harness.Table
+	var baseW, baseSW int
+	for _, w := range wAxis {
+		for _, sw := range swAxis {
+			sub := harness.Suite{Seed: s.Seed, Quick: s.Quick, Workers: w, SimWorkers: sw}
+			tb, err := runKind(sp, sub)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: Workers=%d SimWorkers=%d: %w", sp.ID, w, sw, err)
+			}
+			if base == nil {
+				base, baseW, baseSW = tb, w, sw
+				continue
+			}
+			if tb.String() != base.String() || tb.CSV() != base.CSV() {
+				return nil, fmt.Errorf("scenario %s: determinism violation: table at Workers=%d SimWorkers=%d differs from Workers=%d SimWorkers=%d",
+					sp.ID, w, sw, baseW, baseSW)
+			}
+		}
+	}
+	base.Notef("byte-identical across Workers=%v x SimWorkers=%v", wAxis, swAxis)
+	return base, nil
+}
+
+// runKind dispatches one sweep execution to the kind's compiler.
+func runKind(sp Spec, s harness.Suite) (*harness.Table, error) {
+	switch sp.Kind {
+	case KindMoETiling:
+		return runMoETiling(sp, s)
+	case KindAttention:
+		return runAttention(sp, s)
+	case KindDecoder:
+		return runDecoder(sp, s)
+	}
+	return nil, fmt.Errorf("scenario %s: unknown kind %q", sp.ID, sp.Kind)
+}
+
+// overrideHeader applies the spec's Header override, enforcing that the
+// declared names cover exactly the generated columns.
+func overrideHeader(sp Spec, t *harness.Table) error {
+	if len(sp.Header) == 0 {
+		return nil
+	}
+	if len(sp.Header) != len(t.Header) {
+		return fmt.Errorf("scenario %s: header override has %d names, sweep renders %d columns (%v)",
+			sp.ID, len(sp.Header), len(t.Header), t.Header)
+	}
+	t.Header = append([]string(nil), sp.Header...)
+	return nil
+}

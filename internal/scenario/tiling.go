@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+
+	"step/internal/harness"
+	"step/internal/sched"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// TilingPoint is one design point of a static-vs-dynamic MoE tiling
+// sweep (the Figs. 9/10/19/20 shape).
+type TilingPoint struct {
+	Label   string
+	Tile    int // 0 = dynamic
+	Cycles  uint64
+	Onchip  int64
+	Traffic int64
+}
+
+// TilingSweep measures static tile sizes plus dynamic tiling for one
+// model and batch size. dynCap bounds dynamic tile rows; a negative
+// value selects the historical default — 128 rows for batches above
+// 256, so experts emit tiles while the batch still routes (see
+// MoELayerConfig.DynamicCap). Shared by the scenario compiler and the
+// Fig. 17 matched-tile derivation.
+func TilingSweep(s harness.Suite, model workloads.ModelConfig, batch int, tiles []int, dynCap int) ([]TilingPoint, TilingPoint, error) {
+	routing, err := trace.SampleExpertRouting(batch, model.NumExperts, model.TopK, trace.SkewHeavy, s.Seed)
+	if err != nil {
+		return nil, TilingPoint{}, err
+	}
+	if dynCap < 0 {
+		dynCap = 0
+		if batch > 256 {
+			dynCap = 128
+		}
+	}
+	run := func(tileSize int, dynamic bool) (TilingPoint, error) {
+		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+			Model: model, Batch: batch,
+			TileSize: tileSize, Dynamic: dynamic, DynamicCap: dynCap,
+			Routing: routing, Seed: s.Seed,
+		})
+		if err != nil {
+			return TilingPoint{}, err
+		}
+		res, err := l.Graph.Run(s.GraphConfig())
+		if err != nil {
+			return TilingPoint{}, err
+		}
+		oc, err := l.OnchipBytes()
+		if err != nil {
+			return TilingPoint{}, err
+		}
+		label := fmt.Sprintf("tile=%d", tileSize)
+		if dynamic {
+			label = "dynamic"
+		}
+		return TilingPoint{
+			Label: label, Tile: tileSize,
+			Cycles: uint64(res.Cycles), Onchip: oc, Traffic: res.OffchipTrafficBytes,
+		}, nil
+	}
+	// Every sweep point is an independent simulation: fan the static
+	// tiles plus the dynamic point (the last index) out on the pool.
+	pts, err := harness.ParMap(s, len(tiles)+1, func(i int) (TilingPoint, error) {
+		if i == len(tiles) {
+			return run(0, true)
+		}
+		return run(tiles[i], false)
+	})
+	if err != nil {
+		return nil, TilingPoint{}, err
+	}
+	return pts[:len(tiles)], pts[len(tiles)], nil
+}
+
+// runMoETiling compiles a moe-tiling spec: static tiles plus the
+// dynamic point per model, rendered with Pareto headline notes.
+func runMoETiling(sp Spec, s harness.Suite) (*harness.Table, error) {
+	s = s.EnsurePool()
+	t := &harness.Table{
+		ID:     sp.ID,
+		Title:  sp.Title,
+		Header: []string{"Model", "Schedule", "Cycles", "OnchipBytes", "TrafficBytes"},
+	}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+	models, err := sp.resolveModels()
+	if err != nil {
+		return nil, err
+	}
+	tiles := sp.Tiles
+	if s.Quick && len(sp.QuickTiles) > 0 {
+		tiles = sp.QuickTiles
+	}
+	dynCap := -1
+	if sp.DynamicCap > 0 {
+		dynCap = sp.DynamicCap
+	}
+	type sweep struct {
+		static []TilingPoint
+		dyn    TilingPoint
+	}
+	// Sweep all models concurrently; rows are rendered afterwards in
+	// model order so the table is identical at any worker count.
+	sweeps, err := harness.ParMap(s, len(models), func(i int) (sweep, error) {
+		static, dyn, err := TilingSweep(s, models[i], sp.Batch, tiles, dynCap)
+		return sweep{static, dyn}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, model := range models {
+		static, dyn := sweeps[i].static, sweeps[i].dyn
+		var base []sched.Point
+		for _, p := range static {
+			t.AddRow(model.Name, p.Label, p.Cycles, p.Onchip, p.Traffic)
+			y := float64(p.Cycles)
+			if sp.UseTraffic {
+				y = float64(p.Traffic)
+			}
+			base = append(base, sched.Point{Label: p.Label, Cycles: y, Mem: float64(p.Onchip)})
+		}
+		t.AddRow(model.Name, dyn.Label, dyn.Cycles, dyn.Onchip, dyn.Traffic)
+		y := float64(dyn.Cycles)
+		if sp.UseTraffic {
+			y = float64(dyn.Traffic)
+		}
+		dp := sched.Point{Label: "dynamic", Cycles: y, Mem: float64(dyn.Onchip)}
+		pid, err := sched.PID(dp, base)
+		if err != nil {
+			return nil, err
+		}
+		sped, ms, err := sched.ImprovementVsClosest(dp, base)
+		if err != nil {
+			return nil, err
+		}
+		metric := "speedup"
+		if sp.UseTraffic {
+			metric = "traffic saving"
+		}
+		t.Notef("%s: PID=%.2fx; %s vs memory-matched static %.2fx; memory saving vs perf-matched static %.2fx",
+			model.Name, pid, metric, sped, ms)
+	}
+	t.Notes = append(t.Notes, sp.Notes...)
+	return t, nil
+}

@@ -69,6 +69,9 @@ type AttentionConfig struct {
 
 // Validate checks the configuration.
 func (c *AttentionConfig) Validate() error {
+	if err := c.Model.ValidateAttention(); err != nil {
+		return err
+	}
 	if len(c.KVLens) == 0 {
 		return fmt.Errorf("workloads: attention needs at least one request")
 	}

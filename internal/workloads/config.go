@@ -57,6 +57,56 @@ func MixtralConfig() ModelConfig {
 	}
 }
 
+// Validate checks that every architecture dimension is usable: all
+// positive, top-k within the expert pool, and KV heads within the query
+// heads. Scaled floors dimensions with integer division, so a large
+// factor silently produces zero-dimension models; the builders and the
+// scenario loader call Validate so that mistake surfaces as an error
+// instead of a downstream divide-by-zero or an empty simulation.
+func (m ModelConfig) Validate() error {
+	if err := m.ValidateAttention(); err != nil {
+		return err
+	}
+	dims := []struct {
+		name string
+		v    int
+	}{
+		{"Inter", m.Inter}, {"NumExperts", m.NumExperts}, {"TopK", m.TopK},
+		{"Layers", m.Layers}, {"WeightStrip", m.WeightStrip},
+	}
+	for _, d := range dims {
+		if d.v < 1 {
+			return fmt.Errorf("workloads: model %q: %s = %d must be positive (over-aggressive Scaled factor?)", m.Name, d.name, d.v)
+		}
+	}
+	if m.TopK > m.NumExperts {
+		return fmt.Errorf("workloads: model %q: TopK %d exceeds NumExperts %d", m.Name, m.TopK, m.NumExperts)
+	}
+	return nil
+}
+
+// ValidateAttention checks only the dimensions the attention workload
+// reads (Hidden, QHeads, KVHeads, HeadDim), so attention-only sweeps
+// can use dense inline models without inventing MoE fields.
+func (m ModelConfig) ValidateAttention() error {
+	dims := []struct {
+		name string
+		v    int
+	}{
+		{"Hidden", m.Hidden}, {"QHeads", m.QHeads},
+		{"KVHeads", m.KVHeads}, {"HeadDim", m.HeadDim},
+	}
+	for _, d := range dims {
+		if d.v < 1 {
+			return fmt.Errorf("workloads: model %q: %s = %d must be positive (over-aggressive Scaled factor?)", m.Name, d.name, d.v)
+		}
+	}
+	if m.KVHeads > m.QHeads {
+		return fmt.Errorf("workloads: model %q: KVHeads %d exceeds QHeads %d", m.Name, m.KVHeads, m.QHeads)
+	}
+	return nil
+}
+
 // KVBytesPerToken returns the per-token KV-cache footprint in bytes
 // (keys + values across KV heads).
 func (m ModelConfig) KVBytesPerToken() int64 {

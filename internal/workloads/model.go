@@ -76,6 +76,9 @@ type DecoderResult struct {
 
 // RunDecoder simulates the end-to-end decoder under the given schedule.
 func RunDecoder(cfg DecoderConfig, runCfg graph.Config) (DecoderResult, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return DecoderResult{}, err
+	}
 	if cfg.SampleLayers < 1 {
 		cfg.SampleLayers = 2
 	}

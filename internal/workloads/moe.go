@@ -45,6 +45,12 @@ type MoELayerConfig struct {
 // Validate checks the configuration.
 func (c *MoELayerConfig) Validate() error {
 	m := c.Model
+	// Model dimensions first: the strip-divisibility check below divides
+	// by WeightStrip, which a zero-dimension model (Scaled too far) would
+	// turn into a panic.
+	if err := m.Validate(); err != nil {
+		return err
+	}
 	if m.Inter%m.WeightStrip != 0 {
 		return fmt.Errorf("workloads: inter %d not divisible by strip %d", m.Inter, m.WeightStrip)
 	}

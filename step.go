@@ -39,9 +39,11 @@ import (
 	"step/internal/des"
 	"step/internal/element"
 	"step/internal/graph"
+	"step/internal/harness"
 	"step/internal/hbm"
 	"step/internal/onchip"
 	"step/internal/ops"
+	"step/internal/scenario"
 	"step/internal/shape"
 	"step/internal/symbolic"
 	"step/internal/tile"
@@ -296,4 +298,35 @@ var (
 type (
 	HBMConfig    = hbm.Config
 	OnchipConfig = onchip.Config
+)
+
+// Declarative scenario sweeps (internal/scenario): describe a model, a
+// workload kind, and sweep axes as data — a Go struct or a JSON file —
+// and compile the grid onto the workload entry points, fanned out on
+// the parallel experiment harness.
+type (
+	// ScenarioSpec declares a scenario sweep (JSON file format).
+	ScenarioSpec = scenario.Spec
+	// ScenarioModelSpec names a built-in model or embeds one inline.
+	ScenarioModelSpec = scenario.ModelSpec
+	// RequestGroup is one slice of a heterogeneous serving batch.
+	RequestGroup = scenario.RequestGroup
+	// SweepSuite configures a sweep run (seed, workers, DES engine).
+	SweepSuite = harness.Suite
+	// SweepTable is a rendered sweep result.
+	SweepTable = harness.Table
+)
+
+var (
+	// LoadScenario reads and validates a spec file; ParseScenario
+	// decodes one from bytes.
+	LoadScenario  = scenario.Load
+	ParseScenario = scenario.Parse
+	// RunScenario compiles and executes a spec's sweep grid.
+	RunScenario = scenario.Run
+	// BuiltinScenarios lists the canned specs (re-registered paper
+	// figures plus the beyond-the-paper families); LookupScenario finds
+	// one by ID.
+	BuiltinScenarios = scenario.Builtin
+	LookupScenario   = scenario.LookupBuiltin
 )
