@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json sweep-smoke check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json sweep-smoke serve-smoke cover check
 
 all: check
 
@@ -59,4 +59,17 @@ sweep-smoke:
 	$(GO) run ./cmd/stepctl sweep -spec examples/specs/long_context.json
 	$(GO) run ./cmd/stepctl sweep -spec examples/specs/mixed_serving.json
 
-check: build vet fmt-check test race bench-smoke sweep-smoke
+# serve-smoke drives `stepctl serve` end to end over HTTP: POST a
+# canned spec, diff the served table against the committed golden
+# artifact, and require the repeated POST to hit the result cache.
+serve-smoke:
+	bash examples/serve_smoke.sh
+
+# cover is the full test suite run with a coverage profile plus a
+# whole-module summary; CI's test job runs it *in place of* `test`, so
+# coverage costs no second suite execution.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
+
+check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke

@@ -8,17 +8,25 @@
 //	stepctl moe [flags]        # run one MoE-layer configuration
 //	stepctl exp [flags]        # run paper experiments on the parallel harness
 //	stepctl sweep [flags]      # run a declarative scenario sweep (JSON spec)
+//	stepctl serve [flags]      # serve sweeps over HTTP with a result cache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"step"
 	"step/internal/experiments"
 	"step/internal/scenario"
+	"step/internal/service"
+	"step/internal/store"
 )
 
 func main() {
@@ -40,6 +48,8 @@ func main() {
 		err = exp(os.Args[2:])
 	case "sweep":
 		err = sweep(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -51,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve> [flags]")
 }
 
 // sweep runs a declarative scenario: a JSON spec file (or a built-in
@@ -68,6 +78,8 @@ func sweep(args []string) error {
 		workers    = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
 		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel (identical results)")
 		out        = fs.String("out", "", "directory to write a CSV result into")
+		cache      = fs.Bool("cache", false, "serve byte-identical repeats from the content-addressed result cache")
+		cacheDir   = fs.String("cache-dir", ".step-cache", "result cache directory (with -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,23 +107,120 @@ func sweep(args []string) error {
 	default:
 		return fmt.Errorf("sweep: need -spec <file.json> or -name <id>")
 	}
+
+	// The cached path shares the content-addressed store with `stepctl
+	// serve`: a repeated sweep of a semantically-equal spec at the same
+	// seed/quick prints the stored bytes without re-simulating.
+	var (
+		st  *store.Store
+		key string
+	)
+	if *cache {
+		var err error
+		if st, err = store.Open(*cacheDir, 0); err != nil {
+			return err
+		}
+		if key, err = store.Key(sp, *seed, *quick); err != nil {
+			return err
+		}
+		if e, ok, err := st.Get(key); err != nil {
+			return err
+		} else if ok {
+			fmt.Fprintf(os.Stderr, "sweep: cache hit %s\n", key)
+			fmt.Println(e.Table)
+			return writeCSV(*out, e.Manifest.SpecID, e.CSV)
+		}
+	}
+
 	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
+	start := time.Now()
 	tb, err := scenario.Run(sp, suite)
 	if err != nil {
 		return err
 	}
 	fmt.Println(tb.String())
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
+	if st != nil {
+		entry, err := store.NewEntry(sp, *seed, *quick, tb.String(), tb.CSV(), store.GitDescribe("."), time.Since(start))
+		if err != nil {
 			return err
 		}
-		path := filepath.Join(*out, tb.ID+".csv")
-		if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+		if err := st.Put(entry); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Fprintf(os.Stderr, "sweep: cached %s\n", key)
 	}
+	return writeCSV(*out, tb.ID, tb.CSV())
+}
+
+// writeCSV writes a sweep's CSV rendering into dir (no-op when empty).
+func writeCSV(dir, id, csv string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// serve runs the sweep service over HTTP: POST /sweeps, GET
+// /sweeps/{id}, GET /sweeps/{id}/table, GET /specs (see
+// internal/service). Results land in the same content-addressed store
+// `stepctl sweep -cache` uses, so the CLI and the server share hits.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8372", "listen address")
+		cacheDir   = fs.String("cache-dir", ".step-cache", "result cache directory")
+		executors  = fs.Int("executors", 2, "concurrent sweep executors")
+		workers    = fs.Int("workers", 0, "harness token pool shared by all executors (0 = one per CPU; each executor adds one implicit worker)")
+		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel")
+		lru        = fs.Int("lru", 64, "in-memory result cache entries fronting the disk store")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := store.Open(*cacheDir, *lru)
+	if err != nil {
+		return err
+	}
+	svc := service.New(st, service.Options{
+		Executors:   *executors,
+		Workers:     *workers,
+		SimWorkers:  *simWorkers,
+		GitDescribe: store.GitDescribe("."),
+	})
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stepctl: serving sweeps on http://%s (cache %s)\n", *addr, st.Dir())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "stepctl: shutting down (press again to force quit)")
+	// Unregister the signal handler first, so a second SIGINT/SIGTERM
+	// gets default handling and kills the process even while Close
+	// drains in-flight simulations.
+	stop()
+	// Close the service before Shutdown: it cancels every job, which
+	// unblocks handlers parked in ?wait= — otherwise Shutdown would
+	// hang behind them until its deadline while their sweeps run on.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
 }
 
 // exp runs registered paper experiments on the parallel harness.

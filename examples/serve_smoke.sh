@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Serving-sweeps smoke test — and a curl tour of the sweep service.
+#
+# Starts `stepctl serve` against a throwaway cache, submits a canned
+# spec at the golden configuration (quick mode, seed 7), diffs the
+# served table against the committed golden artifact, and checks that
+# a repeated POST is answered from the content-addressed store without
+# re-simulation. Run from anywhere; `make serve-smoke` runs it in CI.
+#
+# Usage: examples/serve_smoke.sh [spec-id]   (default: gqa-ratio)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC="${1:-gqa-ratio}"
+ADDR="${STEP_SERVE_ADDR:-127.0.0.1:8374}"
+BASE="http://$ADDR"
+GOLDEN="internal/scenario/testdata/golden/$SPEC.txt"
+WORK="$(mktemp -d)"
+
+[ -f "$GOLDEN" ] || { echo "no golden artifact $GOLDEN" >&2; exit 1; }
+
+go build -o "$WORK/stepctl" ./cmd/stepctl
+"$WORK/stepctl" serve -addr "$ADDR" -cache-dir "$WORK/cache" &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null || true; wait "$SERVER" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+  curl -sf "$BASE/specs" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+echo "== canned registry =="
+curl -sf "$BASE/specs" | grep '"id"'
+
+echo "== POST /sweeps?name=$SPEC (quick, seed 7; wait for completion) =="
+curl -sf -X POST "$BASE/sweeps?name=$SPEC&seed=7&quick=1&wait=5m" | tee "$WORK/job.json"
+JOB=$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$WORK/job.json")
+grep -q '"state": "done"' "$WORK/job.json" || { echo "first run did not finish done" >&2; exit 1; }
+
+echo "== GET /sweeps/$JOB/table: diff against $GOLDEN =="
+curl -sf "$BASE/sweeps/$JOB/table" >"$WORK/table.txt"
+diff "$GOLDEN" "$WORK/table.txt"
+
+echo "== repeated POST must be served from the cache =="
+curl -sf -X POST "$BASE/sweeps?name=$SPEC&seed=7&quick=1&wait=5m" | tee "$WORK/job2.json"
+grep -q '"state": "cached"' "$WORK/job2.json" || { echo "repeat was not served from the cache" >&2; exit 1; }
+JOB2=$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$WORK/job2.json")
+curl -sf "$BASE/sweeps/$JOB2/table" >"$WORK/table2.txt"
+diff "$WORK/table.txt" "$WORK/table2.txt"
+
+echo "== CSV rendering =="
+curl -sf "$BASE/sweeps/$JOB2/table?format=csv" | head -3
+
+echo "serve smoke OK: $SPEC served byte-identical to $GOLDEN, repeat answered from cache"

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -28,6 +29,18 @@ type Suite struct {
 	// per-process local clocks). Both engines produce byte-identical
 	// tables; see internal/des.
 	SimWorkers int
+	// Ctx, when non-nil, cancels sweep dispatch: once Ctx is done,
+	// ParMap stops handing out not-yet-started points and returns
+	// Ctx.Err(). Points already in flight (each a self-contained DES
+	// simulation) run to completion, mirroring the first-error path, so
+	// cancellation latency is bounded by one simulation, not the sweep.
+	Ctx context.Context
+	// Progress, when non-nil, is invoked once after each sweep point
+	// completes successfully. It may be called concurrently from pool
+	// workers and from nested sweeps, so it must be goroutine-safe
+	// (e.g. an atomic counter). Scenario jobs use it for live
+	// per-point progress; see Spec.PointCount for the matching total.
+	Progress func()
 	// sem is the shared worker-token pool (see Suite.EnsurePool):
 	// nested sweeps draw from one budget so total concurrency stays
 	// bounded by Workers at any fan-out depth.
@@ -85,6 +98,15 @@ func (e *PointPanicError) Error() string {
 	return fmt.Sprintf("harness: sweep point %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
+// canceled reports the suite context's error, or nil when no context
+// was attached or it is still live.
+func (s Suite) canceled() error {
+	if s.Ctx == nil {
+		return nil
+	}
+	return s.Ctx.Err()
+}
+
 // callPoint invokes fn(i), converting a panic into a *PointPanicError so
 // one bad grid point fails its sweep through the normal first-error path
 // instead of killing the process.
@@ -123,11 +145,17 @@ func ParMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
 	}
 	if s.sem == nil || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := s.canceled(); err != nil {
+				return nil, err
+			}
 			v, err := callPoint(fn, i)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
+			if s.Progress != nil {
+				s.Progress()
+			}
 		}
 		return out, nil
 	}
@@ -137,11 +165,17 @@ func ParMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
 		firstErr error
 		next     int
 	)
-	// take hands out the next index, or -1 once the range is exhausted
-	// or a job has failed (early cancellation).
+	// take hands out the next index, or -1 once the range is exhausted,
+	// a job has failed (early cancellation), or the suite context was
+	// canceled (queued points are abandoned; in-flight ones finish).
 	take := func() int {
 		mu.Lock()
 		defer mu.Unlock()
+		if firstErr == nil {
+			if err := s.canceled(); err != nil {
+				firstErr = err
+			}
+		}
 		if firstErr != nil || next >= n {
 			return -1
 		}
@@ -192,6 +226,9 @@ func ParMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
 				return
 			}
 			out[i] = v
+			if s.Progress != nil {
+				s.Progress()
+			}
 		}
 	}
 	work()

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -80,6 +81,87 @@ func TestParMapEarlyCancellation(t *testing.T) {
 	// the failure must stop dispatch well before the full range runs.
 	if got := started.Load(); got == n {
 		t.Fatalf("all %d jobs ran despite early failure", n)
+	}
+}
+
+// TestParMapCancelWhileQueued checks the cancel-while-queued path: with
+// 2 workers and every in-flight point blocking until the context is
+// canceled, none of the queued points may start — ParMap returns
+// context.Canceled after only the in-flight points ran to completion.
+func TestParMapCancelWhileQueued(t *testing.T) {
+	const n = 256
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started, finished atomic.Int64
+	block := make(chan struct{})
+	go func() {
+		// Wait until both workers hold a point, then cancel *before*
+		// releasing them, so every remaining point is queued when the
+		// context dies. take() re-checks the context under its mutex, so
+		// no released worker can grab a queued point afterwards.
+		for started.Load() < 2 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		cancel()
+		close(block)
+	}()
+	_, err := ParMap(Suite{Workers: 2, Ctx: ctx}, n, func(i int) (int, error) {
+		started.Add(1)
+		<-block
+		finished.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != 2 {
+		t.Fatalf("%d points started, want exactly the 2 in-flight ones", got)
+	}
+	// In-flight points must have run to completion, not been torn down.
+	if started.Load() != finished.Load() {
+		t.Fatalf("started %d != finished %d: in-flight points must complete", started.Load(), finished.Load())
+	}
+}
+
+// TestParMapSequentialCancelStopsDispatch checks the Workers=1 inline
+// path: a context canceled inside point i stops the loop before point
+// i+1 is dispatched.
+func TestParMapSequentialCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls int
+	_, err := ParMap(Suite{Workers: 1, Ctx: ctx}, 8, func(i int) (int, error) {
+		calls++
+		if i == 2 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if calls != 3 {
+		t.Fatalf("ran %d points after cancellation, want 3", calls)
+	}
+}
+
+// TestParMapProgress checks the per-point progress callback: it must
+// fire exactly once per completed point at any worker count, including
+// from nested sweeps drawing on the same pool.
+func TestParMapProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var done atomic.Int64
+		s := Suite{Workers: workers, Progress: func() { done.Add(1) }}.EnsurePool()
+		_, err := ParMap(s, 4, func(i int) (int, error) {
+			_, err := ParMap(s, 3, func(j int) (int, error) { return j, nil })
+			return i, err
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := done.Load(); got != 4+4*3 {
+			t.Fatalf("workers=%d: %d progress calls, want %d", workers, got, 4+4*3)
+		}
 	}
 }
 

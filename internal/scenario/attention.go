@@ -44,7 +44,7 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 	} else if len(batches) == 0 {
 		b := sp.Batch
 		if b == 0 {
-			b = 64
+			b = defaultBatch
 		}
 		batches = []int{b}
 	}
@@ -52,7 +52,7 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 	if len(kvMeans) == 0 {
 		kv := sp.KVMean
 		if kv == 0 {
-			kv = 2048
+			kv = defaultKVMean
 		}
 		kvMeans = []float64{kv}
 	}
@@ -63,7 +63,7 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 	}
 	strategies := sp.Strategies
 	if len(strategies) == 0 {
-		strategies = []string{"dynamic"}
+		strategies = []string{defaultStrategy}
 	}
 	variance, err := parseVariance(sp.KVVariance)
 	if err != nil {
@@ -71,11 +71,11 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 	}
 	regions := sp.Regions
 	if regions == 0 {
-		regions = 4
+		regions = defaultRegions
 	}
 	kvChunk := sp.KVChunk
 	if kvChunk == 0 {
-		kvChunk = 64
+		kvChunk = defaultKVChunk
 	}
 
 	nM, nB, nK, nH, nS := len(models), len(batches), len(kvMeans), len(kvHeads), len(strategies)

@@ -35,17 +35,17 @@ func runDecoder(sp Spec, s harness.Suite) (*harness.Table, error) {
 	} else if len(batches) == 0 {
 		b := sp.Batch
 		if b == 0 {
-			b = 64
+			b = defaultBatch
 		}
 		batches = []int{b}
 	}
 	schedules := sp.Strategies
 	if len(schedules) == 0 {
-		schedules = []string{"dynamic"}
+		schedules = []string{defaultStrategy}
 	}
 	kvMean := sp.KVMean
 	if kvMean == 0 {
-		kvMean = 2048
+		kvMean = defaultKVMean
 	}
 	variance, err := parseVariance(sp.KVVariance)
 	if err != nil {

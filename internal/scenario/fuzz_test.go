@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecJSON fuzzes the spec loader: no input may panic it, and any
+// input it accepts must canonicalize, re-parse, and hash stably —
+// load -> canonicalize -> load lands on the same content address,
+// which is what the result cache's correctness rests on. Seeds are the
+// committed example specs, every canned spec's canonical form, and a
+// few adversarial fragments.
+func FuzzSpecJSON(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example specs found to seed the fuzzer")
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, sp := range Builtin() {
+		if j, err := sp.CanonicalJSON(); err == nil {
+			f.Add(j)
+		}
+	}
+	f.Add([]byte(`{"id": "z", "kind": "decoder", "models": ["qwen"], "scale": 8,
+		"strategies": ["static:16", "DYNAMIC"], "groups": [{"count": 2, "kv_len": 64}]}`))
+	f.Add([]byte(`{"id": "m", "kind": "moe-tiling", "models": [{"Name": "inline",
+		"Hidden": 64, "Inter": 64, "NumExperts": 4, "TopK": 2, "QHeads": 4,
+		"KVHeads": 2, "HeadDim": 8, "Layers": 2, "WeightStrip": 32}],
+		"batch": 300, "tiles": [8]}`))
+	f.Add([]byte(`{"models": [""], "kind": ""}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"id": "x", "kind": "attention", "models": ["qwen"], "scale": 8,
+		"kv_means": [1e308, 0.5], "workers_axis": [0, -1]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		c, err := sp.Canonicalize()
+		if err != nil {
+			t.Fatalf("accepted spec failed to canonicalize: %v\n%s", err, data)
+		}
+		j, err := c.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical form does not serialize: %v", err)
+		}
+		rt, err := Parse(j)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, j)
+		}
+		h1, err := sp.Hash()
+		if err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		h2, err := rt.Hash()
+		if err != nil {
+			t.Fatalf("round-trip hash: %v", err)
+		}
+		if h1 != h2 {
+			j2, _ := rt.CanonicalJSON()
+			t.Fatalf("hash unstable across load->canonicalize->load:\n%s\n%s", j, j2)
+		}
+	})
+}

@@ -29,7 +29,18 @@ func Run(sp Spec, s harness.Suite) (*harness.Table, error) {
 	var baseW, baseSW int
 	for _, w := range wAxis {
 		for _, sw := range swAxis {
-			sub := harness.Suite{Seed: s.Seed, Quick: s.Quick, Workers: w, SimWorkers: sw}
+			// Each cell re-runs the sweep at its own Workers/SimWorkers
+			// setting; the caller's cancellation context and progress
+			// sink carry over. When the caller already holds a shared
+			// worker pool (the sweep service budgets all concurrent jobs
+			// through one pool), the cells draw from it instead of
+			// minting their own — the Workers cell value then only
+			// labels the re-run, which is sound because tables are
+			// byte-identical at any worker count. Standalone callers
+			// (CLI, tests) have no pool yet, so each cell gets a fresh
+			// one sized to exactly w workers.
+			sub := s
+			sub.Workers, sub.SimWorkers = w, sw
 			tb, err := runKind(sp, sub)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s: Workers=%d SimWorkers=%d: %w", sp.ID, w, sw, err)

@@ -24,6 +24,28 @@ import (
 	"step/internal/workloads"
 )
 
+// Compiler defaults, shared by the kind compilers and Canonicalize so
+// the cache address materializes exactly what the compilers run: a
+// default tweaked in only one place would either split equal specs
+// across addresses or serve one spec another spec's cached table.
+const (
+	defaultBatch    = 64
+	defaultKVMean   = 2048
+	defaultRegions  = 4
+	defaultKVChunk  = 64
+	defaultStrategy = "dynamic"
+)
+
+// autoDynamicCap is the moe-tiling rule for an unset dynamic cap: no
+// bound, except 128 rows above batch 256 so experts emit tiles while
+// the batch still routes (see MoELayerConfig.DynamicCap).
+func autoDynamicCap(batch int) int {
+	if batch > 256 {
+		return 128
+	}
+	return 0
+}
+
 // Spec kinds.
 const (
 	// KindMoETiling sweeps static MoE tile sizes plus dynamic tiling for
@@ -345,6 +367,10 @@ func (sp Spec) rejectIgnoredFields() error {
 			{"kv_chunk", sp.KVChunk != 0},
 			{"regions", sp.Regions != 0},
 			{"kv_variance", sp.KVVariance != ""},
+			// TilingSweep fixes the routing trace to the heavy skew; a
+			// skew field here would silently do nothing (and split the
+			// result-cache address of otherwise-equal specs).
+			{"skew", sp.Skew != ""},
 		}
 	case KindAttention:
 		ignored = []field{

@@ -31,10 +31,7 @@ func TilingSweep(s harness.Suite, model workloads.ModelConfig, batch int, tiles 
 		return nil, TilingPoint{}, err
 	}
 	if dynCap < 0 {
-		dynCap = 0
-		if batch > 256 {
-			dynCap = 128
-		}
+		dynCap = autoDynamicCap(batch)
 	}
 	run := func(tileSize int, dynamic bool) (TilingPoint, error) {
 		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"step/internal/scenario"
+	"step/internal/store"
+)
+
+// tinySpec is a one-point attention sweep that simulates in
+// milliseconds — the unit-test workload.
+func tinySpec(t *testing.T, id string) scenario.Spec {
+	t.Helper()
+	sp, err := scenario.Parse([]byte(`{
+		"id": "` + id + `", "kind": "attention", "models": ["qwen"],
+		"scale": 8, "batch": 4, "kv_mean": 128, "regions": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// slowSpec is a sweep long enough (hundreds of milliseconds: the GQA
+// family re-run per verification-matrix cell) to hold an executor busy
+// while a test submits and cancels around it.
+func slowSpec() scenario.Spec {
+	sp := scenario.GQARatio()
+	sp.WorkersAxis = []int{1, 2, 4}
+	return sp
+}
+
+func newTestService(t *testing.T, opts Options) (*Service, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(st, opts)
+	t.Cleanup(s.Close)
+	return s, st
+}
+
+// wait blocks for the job's terminal state.
+func wait(t *testing.T, s *Service, id string) Job {
+	t.Helper()
+	ch, ok := s.Finished(id)
+	if !ok {
+		t.Fatalf("unknown job %s", id)
+	}
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not finish", id)
+	}
+	job, _ := s.Get(id)
+	return job
+}
+
+func TestJobLifecycleAndCacheHit(t *testing.T) {
+	s, st := newTestService(t, Options{Executors: 2, Workers: 2})
+	sp := tinySpec(t, "life")
+
+	first, err := s.Submit(sp, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wait(t, s, first.ID)
+	if job.State != StateDone {
+		t.Fatalf("state %s (%s), want done", job.State, job.Error)
+	}
+	if job.PointsTotal != sp.PointCount(true) || job.PointsDone != job.PointsTotal {
+		t.Fatalf("progress %d/%d, want %d/%d", job.PointsDone, job.PointsTotal, sp.PointCount(true), sp.PointCount(true))
+	}
+	entry, err := s.Table(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(entry.Table, "== life:") {
+		t.Fatalf("table does not render the sweep: %q", entry.Table)
+	}
+
+	// Identical resubmission: served from the store, byte-identical,
+	// nothing re-simulated (the fast path answers before any executor).
+	second, err := s.Submit(sp, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != StateCached {
+		t.Fatalf("resubmission state %s, want cached", second.State)
+	}
+	cached, err := s.Table(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Table != entry.Table || cached.CSV != entry.CSV {
+		t.Fatal("cached table differs from the computed one")
+	}
+
+	// A semantically-equal spelling of the spec shares the address.
+	eq, err := scenario.Parse([]byte(`{
+		"id": "life", "kind": "attention", "models": ["Qwen3"],
+		"scale": 8, "batch": 4, "kv_mean": 128, "regions": 2,
+		"strategies": ["dynamic-parallel"], "kv_variance": "medium"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := s.Submit(eq, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.State != StateCached || third.Key != first.Key {
+		t.Fatalf("equal spec not served from cache: state=%s key match=%v", third.State, third.Key == first.Key)
+	}
+
+	// Different seed: different address, fresh run.
+	other, err := s.Submit(sp, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Key == first.Key {
+		t.Fatal("different seed shares a cache key")
+	}
+	if got := wait(t, s, other.ID); got.State != StateDone {
+		t.Fatalf("state %s, want done", got.State)
+	}
+	keys, err := st.Keys()
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("store keys %v (%v), want 2 entries", keys, err)
+	}
+}
+
+func TestSubmitRejectsInvalidSpec(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 1})
+	bad := tinySpec(t, "bad")
+	bad.Kind = "warp-drive"
+	if _, err := s.Submit(bad, 7, true); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 1})
+	// Valid at parse time, fails at run time: the compare header
+	// override length is only checked against the rendered sweep.
+	sp := tinySpec(t, "boom")
+	sp.Header = []string{"just-one", "two", "three"}
+	job, err := s.Submit(sp, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := wait(t, s, job.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "header override") {
+		t.Fatalf("state=%s err=%q, want failed with the run error", got.State, got.Error)
+	}
+	if _, err := s.Table(job.ID); err == nil {
+		t.Fatal("failed job served a table")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 1, Workers: 2})
+	blocker, err := s.Submit(slowSpec(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single executor is busy with the blocker, so this job sits
+	// queued; cancellation must kill it without an executor's help.
+	queued, err := s.Submit(tinySpec(t, "queued"), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(queued.ID) {
+		t.Fatal("cancel reported unknown job")
+	}
+	got := wait(t, s, queued.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+	if got.PointsDone != 0 {
+		t.Fatalf("canceled-while-queued job ran %d points", got.PointsDone)
+	}
+	if b := wait(t, s, blocker.ID); b.State != StateDone {
+		t.Fatalf("blocker state %s (%s)", b.State, b.Error)
+	}
+}
+
+func TestCancelRunningJobStopsDispatch(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 1, Workers: 1})
+	job, err := s.Submit(slowSpec(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the executor to pick it up, then cancel mid-sweep.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		got, _ := s.Get(job.ID)
+		if got.State == StateRunning {
+			break
+		}
+		if got.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job never ran: %s", got.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Cancel(job.ID) {
+		t.Fatal("cancel reported unknown job")
+	}
+	got := wait(t, s, job.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state %s (%s), want canceled", got.State, got.Error)
+	}
+	if got.PointsDone >= got.PointsTotal {
+		t.Fatalf("cancellation did not stop dispatch: %d/%d points ran", got.PointsDone, got.PointsTotal)
+	}
+	if _, err := s.Table(job.ID); err == nil {
+		t.Fatal("canceled job served a table")
+	}
+	if s.Cancel("job-does-not-exist") {
+		t.Fatal("cancel of unknown job reported success")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 1, Workers: 2, QueueCap: 1})
+	blocker, err := s.Submit(slowSpec(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the executor holds the blocker (not the queue slot).
+	deadline := time.Now().Add(time.Minute)
+	for {
+		got, _ := s.Get(blocker.ID)
+		if got.State == StateRunning {
+			break
+		}
+		if got.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("blocker never ran: %s", got.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(tinySpec(t, "fits"), 7, true); err != nil {
+		t.Fatalf("queue slot rejected: %v", err)
+	}
+	job, err := s.Submit(tinySpec(t, "overflow"), 7, true)
+	if err == nil {
+		t.Fatal("overflowing submit succeeded")
+	}
+	if job.State != StateFailed {
+		t.Fatalf("overflow job state %s, want failed", job.State)
+	}
+}
+
+// TestHistoryPruning: finished jobs are forgotten past MaxHistory so a
+// long-lived server's registry stays bounded; the newest jobs survive.
+func TestHistoryPruning(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 2, Workers: 2, MaxHistory: 3})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		job, err := s.Submit(tinySpec(t, fmt.Sprintf("hist-%d", i)), 7, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wait(t, s, job.ID)
+		ids = append(ids, job.ID)
+	}
+	if got := len(s.List()); got > 3 {
+		t.Fatalf("registry holds %d jobs, want at most MaxHistory=3", got)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatal("oldest job survived pruning")
+	}
+	if _, ok := s.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest job was pruned")
+	}
+}
+
+func TestListOrdersBySubmission(t *testing.T) {
+	s, _ := newTestService(t, Options{Executors: 2, Workers: 2})
+	a, _ := s.Submit(tinySpec(t, "list-a"), 7, true)
+	b, _ := s.Submit(tinySpec(t, "list-b"), 7, true)
+	wait(t, s, a.ID)
+	wait(t, s, b.ID)
+	jobs := s.List()
+	if len(jobs) != 2 || jobs[0].ID != a.ID || jobs[1].ID != b.ID {
+		t.Fatalf("list out of order: %+v", jobs)
+	}
+}
