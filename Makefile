@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json sweep-smoke serve-smoke cover check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json sweep-smoke serve-smoke examples-smoke cover check
 
 all: check
 
@@ -44,7 +44,7 @@ bench-smoke:
 # (ns/op per figure, engine speedups) so the simulator core's perf
 # trajectory is tracked from PR to PR.
 bench-json:
-	$(GO) test -bench='BenchmarkEngineCompare|BenchmarkFigure|BenchmarkMoELayer|BenchmarkAttention|BenchmarkSimpleMoE|BenchmarkDESChannel' \
+	$(GO) test -bench='BenchmarkEngineCompare|BenchmarkFigure|BenchmarkMoELayer|BenchmarkAttention|BenchmarkSimpleMoE|BenchmarkDESChannel|BenchmarkCompileOnceRunMany' \
 		-benchtime=2x -run='^$$' . > bench-json.out
 	$(GO) run ./cmd/benchjson -out BENCH_core.json < bench-json.out
 	@rm -f bench-json.out
@@ -58,6 +58,21 @@ sweep-smoke:
 	$(GO) run ./cmd/stepctl sweep -spec examples/specs/gqa_ratio.json
 	$(GO) run ./cmd/stepctl sweep -spec examples/specs/long_context.json
 	$(GO) run ./cmd/stepctl sweep -spec examples/specs/mixed_serving.json
+	$(GO) run ./cmd/stepctl sweep -spec examples/specs/program_pipeline.json
+
+# examples-smoke builds and runs every example program, so API-shim
+# regressions (the deprecated Graph.Run path, the Program/Session API,
+# the program IR loader) surface in CI instead of on users.
+examples-smoke:
+	@set -e; for d in examples/*/; do \
+		[ -f "$$d/main.go" ] || continue; \
+		echo "== go run ./$$d"; \
+		$(GO) run "./$$d" > /dev/null; \
+	done
+	$(GO) run ./cmd/stepctl program compile -ir examples/programs/pipeline.json > /dev/null
+	$(GO) run ./cmd/stepctl program dot -ir examples/programs/pipeline.json > /dev/null
+	$(GO) run ./cmd/stepctl program run -ir examples/programs/pipeline.json > /dev/null
+	@echo examples smoke OK
 
 # serve-smoke drives `stepctl serve` end to end over HTTP: POST a
 # canned spec, diff the served table against the committed golden
@@ -72,4 +87,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke
+check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke examples-smoke

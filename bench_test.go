@@ -321,3 +321,43 @@ func BenchmarkSimpleMoE(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompileOnceRunMany measures the payoff of the Program API's
+// build/run split: one compiled MoE-layer program run repeatedly
+// (fresh engine state per run) against the legacy rebuild-per-point
+// shape where every run reconstructs the whole graph first.
+func BenchmarkCompileOnceRunMany(b *testing.B) {
+	m := workloads.Qwen3Config().Scaled(8)
+	routing, err := trace.SampleExpertRouting(64, m.NumExperts, m.TopK, trace.SkewHeavy, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workloads.MoELayerConfig{
+		Model: m, Batch: 64, Dynamic: true, Routing: routing, Seed: 7,
+	}
+	b.Run("compile-once", func(b *testing.B) {
+		l, err := workloads.BuildMoELayer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Program.Run(WithSeed(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild-per-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, err := workloads.BuildMoELayer(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.Program.Run(WithSeed(7)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -9,6 +9,8 @@
 //	stepctl exp [flags]        # run paper experiments on the parallel harness
 //	stepctl sweep [flags]      # run a declarative scenario sweep (JSON spec)
 //	stepctl serve [flags]      # serve sweeps over HTTP with a result cache
+//	stepctl program <compile|dot|run> -ir file.json
+//	                           # validate, render, or execute a program IR
 package main
 
 import (
@@ -50,6 +52,8 @@ func main() {
 		err = sweep(os.Args[2:])
 	case "serve":
 		err = serve(os.Args[2:])
+	case "program":
+		err = program(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,7 +65,93 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve|program> [flags]")
+}
+
+// program works with serializable program IRs: compile validates and
+// summarizes one, dot renders it in Graphviz DOT format, and run
+// executes it with fresh engine state.
+func program(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: stepctl program <compile|dot|run> -ir file.json [flags]")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "compile", "dot", "run":
+	default:
+		return fmt.Errorf("program: unknown subcommand %q (want compile, dot, or run)", sub)
+	}
+	fs := flag.NewFlagSet("program "+sub, flag.ExitOnError)
+	irPath := fs.String("ir", "", "path to a program IR JSON file")
+	var (
+		title      = fs.String("title", "", "graph title (dot; defaults to the program name)")
+		seed       = fs.Uint64("seed", 7, "run seed (run)")
+		simWorkers = fs.Int("sim-workers", 0, "DES engine: 0/1 sequential, >=2 conservative parallel (run)")
+		depth      = fs.Int("depth", 0, "default stream FIFO depth override (run; 0 = default 16)")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *irPath == "" {
+		return fmt.Errorf("program %s: need -ir <file.json>", sub)
+	}
+	ir, err := step.LoadProgramIR(*irPath)
+	if err != nil {
+		return err
+	}
+	prog, err := step.CompileProgramIR(ir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "compile":
+		hash, err := prog.Hash()
+		if err != nil {
+			return err
+		}
+		name := prog.Name()
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Printf("program:            %s\n", name)
+		fmt.Printf("nodes:              %d\n", prog.NodeCount())
+		fmt.Printf("streams:            %d\n", prog.StreamCount())
+		fmt.Printf("canonical hash:     %s\n", hash)
+		fmt.Printf("onchip bytes (§4.2): %s\n", prog.OnchipBytesExpr())
+		fmt.Printf("offchip bytes (§4.2): %s\n", prog.OffchipTrafficBytesExpr())
+		fmt.Printf("alloc compute BW:   %d FLOPs/cycle\n", prog.AllocatedComputeBW())
+		return nil
+	case "dot":
+		t := *title
+		if t == "" {
+			t = prog.Name()
+		}
+		if t == "" {
+			t = "program"
+		}
+		fmt.Print(prog.Dot(t))
+		return nil
+	case "run":
+		opts := []step.RunOption{step.WithSeed(*seed), step.WithSimWorkers(*simWorkers)}
+		if *depth > 0 {
+			opts = append(opts, step.WithChannelDepth(*depth))
+		}
+		sess, err := prog.Run(opts...)
+		if err != nil {
+			return err
+		}
+		res := sess.Result
+		fmt.Printf("cycles:             %d\n", res.Cycles)
+		fmt.Printf("off-chip traffic:   %d bytes\n", res.OffchipTrafficBytes)
+		fmt.Printf("peak on-chip:       %d bytes\n", res.PeakOnchipBytes)
+		fmt.Printf("total FLOPs:        %d\n", res.TotalFLOPs)
+		for _, name := range sess.CaptureNames() {
+			es, _ := sess.Captured(name)
+			fmt.Printf("captured %q:        %d elements\n", name, len(es))
+		}
+		return nil
+	}
+	return nil
 }
 
 // sweep runs a declarative scenario: a JSON spec file (or a built-in

@@ -24,10 +24,13 @@ func main() {
 	// Inspect the program: every edge carries a symbolic stream shape.
 	fmt.Println("Routing (row -> expert):", cfg.Routing)
 
-	res, err := moe.Graph.Run(step.DefaultConfig())
+	// The builder compiled the graph into an immutable Program; running
+	// it instantiates fresh engine state, so repeated runs are legal.
+	sess, err := moe.Program.Run(step.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := sess.Result
 
 	rows, err := moe.OutputRows()
 	if err != nil {

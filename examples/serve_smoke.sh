@@ -52,4 +52,20 @@ diff "$WORK/table.txt" "$WORK/table2.txt"
 echo "== CSV rendering =="
 curl -sf "$BASE/sweeps/$JOB2/table?format=csv" | head -3
 
-echo "serve smoke OK: $SPEC served byte-identical to $GOLDEN, repeat answered from cache"
+echo "== POST /programs: user-authored program IR round trip =="
+curl -sf -X POST --data-binary @examples/programs/pipeline.json \
+  "$BASE/programs?seed=7&wait=5m" | tee "$WORK/prog.json"
+grep -q '"state": "done"' "$WORK/prog.json" || { echo "program run did not finish done" >&2; exit 1; }
+PJOB=$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$WORK/prog.json")
+curl -sf "$BASE/sweeps/$PJOB/table" >"$WORK/prog_table.txt"
+grep -q 'program pipeline' "$WORK/prog_table.txt" || { echo "program table missing note" >&2; exit 1; }
+
+echo "== repeated POST /programs must be served from the cache =="
+curl -sf -X POST --data-binary @examples/programs/pipeline.json \
+  "$BASE/programs?seed=7&wait=5m" | tee "$WORK/prog2.json"
+grep -q '"state": "cached"' "$WORK/prog2.json" || { echo "program repeat was not cached" >&2; exit 1; }
+PJOB2=$(sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p' "$WORK/prog2.json")
+curl -sf "$BASE/sweeps/$PJOB2/table" >"$WORK/prog_table2.txt"
+diff "$WORK/prog_table.txt" "$WORK/prog_table2.txt"
+
+echo "serve smoke OK: $SPEC served byte-identical to $GOLDEN, repeat answered from cache, program IR served and cached"

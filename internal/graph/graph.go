@@ -31,7 +31,18 @@ type Stream struct {
 	depth int
 	// latency overrides the default channel latency when >= 0.
 	latency int
+	// shapeOverridden / dtypeOverridden record programmer overrides so
+	// the program IR can replay them on load.
+	shapeOverridden bool
+	dtypeOverridden bool
 }
+
+// ID returns the stream's graph-unique id (its index in creation order),
+// the identifier the program IR uses to wire nodes together.
+func (s *Stream) ID() int { return s.id }
+
+// Producer returns the node producing this stream (nil when detached).
+func (s *Stream) Producer() *Node { return s.prod }
 
 // SetDepth overrides the FIFO depth of this stream's channel.
 func (s *Stream) SetDepth(n int) *Stream {
@@ -51,6 +62,7 @@ func (s *Stream) PaperRank() int { return s.Shape.Rank() - 1 }
 // to the largest tile it will see).
 func (s *Stream) OverrideDType(dt DType) *Stream {
 	s.DType = dt
+	s.dtypeOverridden = true
 	return s
 }
 
@@ -64,6 +76,7 @@ func (s *Stream) OverrideShape(sh shape.Shape) *Stream {
 		return s
 	}
 	s.Shape = sh
+	s.shapeOverridden = true
 	return s
 }
 
@@ -77,6 +90,20 @@ type Node struct {
 	Op      Operator
 	Inputs  []*Stream
 	Outputs []*Stream
+	// irOp/irAttrs describe the node in the serializable program IR.
+	// Constructors in the ops package set them via SetIR; nodes without
+	// an IR description make the containing program inexpressible as IR
+	// (Program.IR reports which node and why).
+	irOp    string
+	irAttrs any
+}
+
+// SetIR records the node's program-IR description: the operator kind and
+// a JSON-marshalable attribute struct holding the constructor arguments.
+// Constructors that wrap other constructors (e.g. CountSource over
+// Source) may call it again to replace the inner description.
+func (n *Node) SetIR(op string, attrs any) {
+	n.irOp, n.irAttrs = op, attrs
 }
 
 // Operator is the behaviour of a node. Implementations live in the ops
@@ -103,6 +130,13 @@ type Graph struct {
 	nodes   []*Node
 	streams []*Stream
 	errs    []error
+	// compiled marks the graph frozen: Compile succeeded and further
+	// structural mutation is a recorded construction error.
+	compiled bool
+	// running guards against concurrent executions of one graph: each run
+	// binds per-run engine state, but operator instances are shared, so
+	// two overlapping runs would race (see ErrAlreadyBound).
+	running atomic.Bool
 }
 
 // New creates an empty graph.
@@ -116,6 +150,7 @@ func (g *Graph) Errf(format string, args ...any) {
 
 // NewStream registers a fresh stream produced by node n.
 func (g *Graph) NewStream(prod *Node, sh shape.Shape, dt DType) *Stream {
+	g.checkMutable("NewStream")
 	s := &Stream{id: len(g.streams), g: g, Shape: sh, DType: dt, prod: prod, latency: -1}
 	g.streams = append(g.streams, s)
 	if prod != nil {
@@ -127,6 +162,7 @@ func (g *Graph) NewStream(prod *Node, sh shape.Shape, dt DType) *Stream {
 // AddNode registers an operator consuming the given input streams. Output
 // streams are created by the caller via NewStream after the node exists.
 func (g *Graph) AddNode(op Operator, inputs ...*Stream) *Node {
+	g.checkMutable("AddNode")
 	n := &Node{ID: len(g.nodes), Op: op}
 	for _, in := range inputs {
 		if in == nil {
@@ -154,6 +190,7 @@ func (g *Graph) AddNode(op Operator, inputs ...*Stream) *Node {
 // selector loop of Fig. 16), where a node must be constructed before the
 // stream that feeds it.
 func (g *Graph) AttachInput(n *Node, s *Stream) {
+	g.checkMutable("AttachInput")
 	if s == nil {
 		g.Errf("%s: nil attached stream", n.Op.Name())
 		return
@@ -168,6 +205,14 @@ func (g *Graph) AttachInput(n *Node, s *Stream) {
 	}
 	s.cons = n
 	n.Inputs = append(n.Inputs, s)
+}
+
+// checkMutable records a construction error when the graph was already
+// compiled into an immutable Program.
+func (g *Graph) checkMutable(op string) {
+	if g.compiled {
+		g.Errf("graph: %s after Compile (compiled programs are immutable; build a new graph)", op)
+	}
 }
 
 // Nodes returns the graph's nodes in insertion order.

@@ -1,0 +1,267 @@
+package graph_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"step/internal/element"
+	"step/internal/graph"
+	"step/internal/ops"
+	"step/internal/symbolic"
+)
+
+// buildDoubler builds a small graph with a custom closure (not
+// IR-expressible): doubles 0..n-1 into a capture.
+func buildDoubler(n int) (*graph.Graph, *ops.CaptureOp) {
+	g := graph.New()
+	in := ops.CountSource(g, "in", n)
+	dbl := ops.Map(g, "double", in, ops.MapFn{
+		Name: "double",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			return element.Scalar{V: v.(element.Scalar).V * 2}, 1, nil
+		},
+	}, ops.ComputeOpts{ComputeBW: 1})
+	cap := ops.Capture(g, "out", dbl)
+	return g, cap
+}
+
+// TestGraphRunTwiceDeterministic: sequential re-runs of one graph are
+// legal and identical — per-run operator state (captures) resets.
+func TestGraphRunTwiceDeterministic(t *testing.T) {
+	g, cap := buildDoubler(8)
+	r1, err := g.Run(graph.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := element.FormatStream(cap.Elements())
+	r2, err := g.Run(graph.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := element.FormatStream(cap.Elements())
+	if r1 != r2 {
+		t.Fatalf("re-run results differ: %+v vs %+v", r1, r2)
+	}
+	if c1 != c2 {
+		t.Fatalf("re-run captures differ (stale state leaked):\n %s\n %s", c1, c2)
+	}
+	if n := element.CountData(cap.Elements()); n != 8 {
+		t.Fatalf("capture has %d data elements after 2 runs, want 8", n)
+	}
+}
+
+// TestGraphRunConcurrentErrAlreadyBound: a Run overlapping another Run
+// of the same graph fails with ErrAlreadyBound. The overlap is forced
+// deterministically: an operator re-enters Run mid-simulation.
+func TestGraphRunConcurrentErrAlreadyBound(t *testing.T) {
+	g := graph.New()
+	in := ops.CountSource(g, "in", 2)
+	var inner error
+	reenter := ops.Map(g, "reenter", in, ops.MapFn{
+		Name: "reenter",
+		Apply: func(v element.Value) (element.Value, int64, error) {
+			_, inner = g.Run(graph.DefaultConfig())
+			return v, 0, nil
+		},
+	}, ops.ComputeOpts{})
+	ops.Sink(g, "drop", reenter)
+	if _, err := g.Run(graph.DefaultConfig()); err != nil {
+		t.Fatalf("outer run: %v", err)
+	}
+	if !errors.Is(inner, graph.ErrAlreadyBound) {
+		t.Fatalf("inner Run error = %v, want ErrAlreadyBound", inner)
+	}
+}
+
+// TestGraphMutationAfterCompile: structural mutation of a compiled
+// graph is a recorded construction error surfacing on the next run.
+func TestGraphMutationAfterCompile(t *testing.T) {
+	g, _ := buildDoubler(2)
+	if _, err := g.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	extra := ops.CountSource(g, "late", 1)
+	ops.Sink(g, "latesink", extra)
+	if _, err := g.Run(graph.DefaultConfig()); err == nil {
+		t.Fatal("run succeeded after post-compile mutation")
+	}
+}
+
+// TestProgramConcurrentRunsIR: concurrent runs of one IR-backed program
+// are fully parallel and byte-identical.
+func TestProgramConcurrentRunsIR(t *testing.T) {
+	prog := buildFamily(t, "route")
+	base, err := prog.Run(graph.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := base.Captured("out")
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := prog.Run(graph.WithSeed(3), graph.WithSimWorkers(i%3))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if s.Result != base.Result {
+				errs[i] = errors.New("result mismatch")
+				return
+			}
+			got, _ := s.Captured("out")
+			if element.FormatStream(got) != element.FormatStream(want) {
+				errs[i] = errors.New("capture mismatch")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+}
+
+// TestProgramConcurrentRunsClosureBound: a program holding Go closures
+// cannot re-instantiate, so its runs serialize — but stay legal and
+// deterministic from any number of goroutines.
+func TestProgramConcurrentRunsClosureBound(t *testing.T) {
+	g, _ := buildDoubler(16)
+	prog, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := base.Captured("out")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := prog.Run()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got, _ := s.Captured("out")
+			if s.Result != base.Result || element.FormatStream(got) != element.FormatStream(want) {
+				errs[i] = errors.New("mismatch")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+}
+
+// TestProgramRunMatchesLegacyRun: the deprecated Graph.Run and the
+// compiled Program.Run produce identical results for one configuration.
+func TestProgramRunMatchesLegacyRun(t *testing.T) {
+	g1, _ := buildDoubler(8)
+	legacy, err := g1.Run(graph.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := buildDoubler(8)
+	prog, err := g2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := prog.Run(graph.WithConfig(graph.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Result != legacy {
+		t.Fatalf("results differ: %+v vs %+v", sess.Result, legacy)
+	}
+}
+
+// TestRunOptions: functional options land in the session's effective
+// config, and WithParams feeds the symbolic metric evaluation.
+func TestRunOptions(t *testing.T) {
+	prog := buildFamily(t, "higher")
+	sess, err := prog.Run(
+		graph.WithSeed(11),
+		graph.WithSimWorkers(2),
+		graph.WithChannelDepth(5),
+		graph.WithParams(symbolic.Env{"F": 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sess.Config
+	if cfg.Seed != 11 || cfg.SimWorkers != 2 || cfg.ChannelDepth != 5 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	if _, err := sess.OnchipRequirement(); err != nil {
+		t.Fatalf("onchip eval: %v", err)
+	}
+	// Depth must not change the functional outcome.
+	deep, err := prog.Run(graph.WithSeed(11), graph.WithChannelDepth(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sess.Captured("out")
+	b, _ := deep.Captured("out")
+	if element.FormatStream(a) != element.FormatStream(b) {
+		t.Fatal("channel depth changed functional output")
+	}
+}
+
+// TestProgramSeedInstantiation: an IR program with seeded random
+// content yields different data per run seed, and identical data for
+// equal seeds.
+func TestProgramSeedInstantiation(t *testing.T) {
+	irJSON := []byte(`{
+	  "version": "step-program/v1",
+	  "name": "seeded",
+	  "nodes": [
+	    {"op": "source", "name": "in", "outputs": [{"id": 0}],
+	     "attrs": {"shape": {"dims": [{"size": {"const": 2}}]},
+	               "dtype": {"kind": "tile", "rows": {"size": {"const": 2}}, "cols": {"size": {"const": 2}}},
+	               "elems": [
+	                 {"value": {"tile": {"rows": 2, "cols": 2, "random": 0}}},
+	                 {"value": {"tile": {"rows": 2, "cols": 2, "random": 1}}},
+	                 {"done": true}]}},
+	    {"op": "capture", "name": "out", "inputs": [0]}
+	  ]
+	}`)
+	ir, err := graph.ParseProgramIR(irJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := graph.CompileIR(ir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) [4]float32 {
+		s, err := prog.Run(graph.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, _ := s.Captured("out")
+		if len(es) == 0 || !es[0].IsData() {
+			t.Fatalf("unexpected capture %s", element.FormatStream(es))
+		}
+		tl := es[0].Value.(element.TileVal).T
+		return [4]float32{tl.At(0, 0), tl.At(0, 1), tl.At(1, 0), tl.At(1, 1)}
+	}
+	a1, a2, b := run(7), run(7), run(8)
+	if a1 != a2 {
+		t.Fatalf("equal seeds differ: %v vs %v", a1, a2)
+	}
+	if a1 == b {
+		t.Fatal("different seeds produced identical random tiles")
+	}
+}

@@ -40,6 +40,7 @@ func asTilePair(v element.Value) (*tile.Tile, *tile.Tile, error) {
 func MatmulFn() MapFn {
 	return MapFn{
 		Name: "matmul",
+		IR:   &FnRef{Name: "matmul"},
 		Apply: func(v element.Value) (element.Value, int64, error) {
 			a, b, err := asTilePair(v)
 			if err != nil {
@@ -69,6 +70,7 @@ func MatmulFn() MapFn {
 func SiLUFn() MapFn {
 	return MapFn{
 		Name: "silu",
+		IR:   &FnRef{Name: "silu"},
 		Apply: func(v element.Value) (element.Value, int64, error) {
 			t, err := asTile(v)
 			if err != nil {
@@ -83,6 +85,7 @@ func SiLUFn() MapFn {
 func ElemMulFn() MapFn {
 	return MapFn{
 		Name: "elemmul",
+		IR:   &FnRef{Name: "elemmul"},
 		Apply: func(v element.Value) (element.Value, int64, error) {
 			a, b, err := asTilePair(v)
 			if err != nil {
@@ -98,6 +101,7 @@ func ElemMulFn() MapFn {
 func RowSoftmaxFn() MapFn {
 	return MapFn{
 		Name: "softmax",
+		IR:   &FnRef{Name: "softmax"},
 		Apply: func(v element.Value) (element.Value, int64, error) {
 			t, err := asTile(v)
 			if err != nil {
@@ -112,6 +116,7 @@ func RowSoftmaxFn() MapFn {
 func ScaleFn(s float32) MapFn {
 	return MapFn{
 		Name: "scale",
+		IR:   &FnRef{Name: "scale", Arg: float64(s)},
 		Apply: func(v element.Value) (element.Value, int64, error) {
 			t, err := asTile(v)
 			if err != nil {
@@ -126,6 +131,7 @@ func ScaleFn(s float32) MapFn {
 func TransposeFn() MapFn {
 	return MapFn{
 		Name: "transpose",
+		IR:   &FnRef{Name: "transpose"},
 		Apply: func(v element.Value) (element.Value, int64, error) {
 			t, err := asTile(v)
 			if err != nil {
@@ -158,6 +164,7 @@ func emptyTile() element.Value { return element.TileVal{T: tile.New(0, 0)} }
 func RetileRowFn() AccumFn {
 	return AccumFn{
 		Name: "retile-row",
+		IR:   &FnRef{Name: "retile-row"},
 		Init: emptyTile,
 		Update: func(state, v element.Value) (element.Value, int64, error) {
 			s, err := asTile(state)
@@ -178,6 +185,7 @@ func RetileRowFn() AccumFn {
 func RetileColFn() AccumFn {
 	return AccumFn{
 		Name: "retile-col",
+		IR:   &FnRef{Name: "retile-col"},
 		Init: emptyTile,
 		Update: func(state, v element.Value) (element.Value, int64, error) {
 			s, err := asTile(state)
@@ -198,6 +206,7 @@ func RetileColFn() AccumFn {
 func ElemAddFn() AccumFn {
 	return AccumFn{
 		Name: "elemadd",
+		IR:   &FnRef{Name: "elemadd"},
 		Init: func() element.Value { return element.TileVal{T: nil} },
 		Update: func(state, v element.Value) (element.Value, int64, error) {
 			t, err := asTile(v)
@@ -223,6 +232,7 @@ func ElemAddFn() AccumFn {
 func MatmulAccFn() AccumFn {
 	return AccumFn{
 		Name: "matmul-acc",
+		IR:   &FnRef{Name: "matmul-acc"},
 		Init: func() element.Value { return element.TileVal{T: nil} },
 		Update: func(state, v element.Value) (element.Value, int64, error) {
 			a, b, err := asTilePair(v)
@@ -258,6 +268,7 @@ func MatmulAccFn() AccumFn {
 func RetileStreamifyFn(rowChunk int) FlatMapFn {
 	return FlatMapFn{
 		Name: "retile-streamify",
+		IR:   &FnRef{Name: "retile-streamify", Arg: float64(rowChunk)},
 		Apply: func(v element.Value) ([]element.Element, int64, error) {
 			t, err := asTile(v)
 			if err != nil {
@@ -285,6 +296,7 @@ func RetileStreamifyFn(rowChunk int) FlatMapFn {
 func SplitColsFn(colChunk int) FlatMapFn {
 	return FlatMapFn{
 		Name: "split-cols",
+		IR:   &FnRef{Name: "split-cols", Arg: float64(colChunk)},
 		Apply: func(v element.Value) ([]element.Element, int64, error) {
 			t, err := asTile(v)
 			if err != nil {

@@ -17,6 +17,9 @@ type MapFn struct {
 	Apply func(v element.Value) (element.Value, int64, error)
 	// OutType maps the input data type to the output data type.
 	OutType func(in graph.DType) graph.DType
+	// IR names the function in the serializable program IR; nil for
+	// custom closures, which makes the containing program inexpressible.
+	IR *FnRef
 }
 
 // AccumFn is a reduction function for Accum/Scan. Update folds a value
@@ -27,6 +30,8 @@ type AccumFn struct {
 	Update func(state, v element.Value) (element.Value, int64, error)
 	// OutType maps the input data type to the accumulator/output type.
 	OutType func(in graph.DType) graph.DType
+	// IR names the function in the serializable program IR (see MapFn.IR).
+	IR *FnRef
 }
 
 // FlatMapFn expands one value into a rank-b stream fragment: a sequence of
@@ -37,6 +42,8 @@ type FlatMapFn struct {
 	Apply func(v element.Value) ([]element.Element, int64, error)
 	// OutType maps the input data type to the output data type.
 	OutType func(in graph.DType) graph.DType
+	// IR names the function in the serializable program IR (see MapFn.IR).
+	IR *FnRef
 }
 
 // ComputeOpts configures the Roofline performance model of a higher-order
@@ -113,6 +120,9 @@ func Map(g *graph.Graph, name string, in *graph.Stream, fn MapFn, opts ComputeOp
 		outType = fn.OutType(in.DType)
 	}
 	n := g.AddNode(op, in)
+	if fn.IR != nil {
+		n.SetIR("map", mapAttrs{Fn: *fn.IR, Opts: optsToIR(opts)})
+	}
 	out := g.NewStream(n, in.Shape.Clone(), outType)
 	op.onchip = opts.onchipExpr(outType.Bytes())
 	return out
@@ -180,6 +190,9 @@ func Accum(g *graph.Graph, name string, in *graph.Stream, b int, fn AccumFn, opt
 		outShape = in.Shape
 	}
 	n := g.AddNode(op, in)
+	if fn.IR != nil {
+		n.SetIR("accum", accumAttrs{B: b, Fn: *fn.IR, Opts: optsToIR(opts)})
+	}
 	out := g.NewStream(n, outShape, outType)
 	// §4.2: Accum holds |output dtype|; with matmul, the full equation.
 	if opts.MatMulOnchip {
@@ -204,6 +217,9 @@ func Scan(g *graph.Graph, name string, in *graph.Stream, b int, fn AccumFn, opts
 		outType = fn.OutType(in.DType)
 	}
 	n := g.AddNode(op, in)
+	if fn.IR != nil {
+		n.SetIR("scan", accumAttrs{B: b, Fn: *fn.IR, Opts: optsToIR(opts)})
+	}
 	out := g.NewStream(n, in.Shape.Clone(), outType)
 	op.onchip = outType.Bytes()
 	return out
@@ -293,6 +309,13 @@ func FlatMap(g *graph.Graph, name string, in *graph.Stream, b int, fn FlatMapFn,
 		outType = fn.OutType(in.DType)
 	}
 	n := g.AddNode(op, in)
+	if fn.IR != nil && b >= 0 && b <= graph.MaxIRRank {
+		dimIRs := make([]graph.DimIR, len(innerDims))
+		for i, d := range innerDims {
+			dimIRs[i] = graph.DimToIR(d)
+		}
+		n.SetIR("flatmap", flatMapAttrs{B: b, Fn: *fn.IR, InnerDims: dimIRs})
+	}
 	dims := make([]shape.Dim, 0, in.Shape.Rank()+b)
 	dims = append(dims, in.Shape.Dims[:in.Shape.Rank()-1]...)
 	dims = append(dims, innerDims...)

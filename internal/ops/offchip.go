@@ -78,6 +78,7 @@ func LinearOffChipLoad(g *graph.Graph, name string, ref *graph.Stream, tensor Of
 			name, maxIdx, tensor.GridRows(), tensor.GridCols())
 	}
 	n := g.AddNode(op, ref)
+	n.SetIR("linear-offchip-load", linearLoadAttrsEnc{Tensor: tensorLazy{tensor}, Stride: stride, OutShape: outShape})
 	dims := make([]shape.Dim, 0, ref.Shape.Rank()+2)
 	dims = append(dims, ref.Shape.Dims...)
 	dims = append(dims, shape.Static(outShape[0]), shape.Static(outShape[1]))
@@ -141,9 +142,12 @@ func LinearOffChipStore(g *graph.Graph, name string, in *graph.Stream) *StoreHan
 	op := &linearStoreOp{base: newBase(name)}
 	op.traffic = symCard(in)
 	op.onchip = symbolic.Mul(in.DType.Bytes(), symbolic.Const(2))
-	g.AddNode(op, in)
+	g.AddNode(op, in).SetIR("linear-offchip-store", nil)
 	return &StoreHandle{op: op}
 }
+
+// ResetRunState clears the written tiles between runs.
+func (o *linearStoreOp) ResetRunState() { o.got = nil }
 
 // StoreHandle exposes the tiles written by a LinearOffChipStore.
 type StoreHandle struct{ op *linearStoreOp }
@@ -199,6 +203,7 @@ func RandomOffChipLoad(g *graph.Graph, name string, raddr *graph.Stream, table [
 		}
 	}
 	n := g.AddNode(op, raddr)
+	n.SetIR("random-offchip-load", randomLoadAttrsEnc{Table: table})
 	dt := graph.StaticTile(r0, c0)
 	out := g.NewStream(n, raddr.Shape.Clone(), dt)
 	op.traffic = symCard(out)
@@ -249,9 +254,13 @@ func RandomOffChipStore(g *graph.Graph, name string, waddr, wdata *graph.Stream)
 	op.traffic = symCard(wdata)
 	op.onchip = symbolic.Mul(wdata.DType.Bytes(), symbolic.Const(2))
 	n := g.AddNode(op, waddr, wdata)
+	n.SetIR("random-offchip-store", nil)
 	ack := g.NewStream(n, waddr.Shape.Clone(), graph.FlagType{})
 	return ack, &RandomStoreHandle{op: op}
 }
+
+// ResetRunState clears the written region between runs.
+func (o *randomStoreOp) ResetRunState() { o.region = make(map[int64]*tile.Tile) }
 
 // RandomStoreHandle exposes the tiles written by a RandomOffChipStore.
 type RandomStoreHandle struct{ op *randomStoreOp }

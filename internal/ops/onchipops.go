@@ -38,6 +38,7 @@ func Bufferize(g *graph.Graph, name string, in *graph.Stream, b int) *graph.Stre
 		outShape = in.Shape
 	}
 	n := g.AddNode(op, in)
+	n.SetIR("bufferize", bufferizeAttrs{B: b})
 	dt := graph.BufferType{Elem: in.DType, Shape: bufShape}
 	out := g.NewStream(n, outShape, dt)
 	// §4.2: |input dtype| + ||buffer|| × |input dtype| × 2 (double buffering).
@@ -47,6 +48,9 @@ func Bufferize(g *graph.Graph, name string, in *graph.Stream, b int) *graph.Stre
 	)
 	return out
 }
+
+// ResetRunState rewinds the buffer id counter between runs.
+func (o *bufferizeOp) ResetRunState() { o.nextID = 0 }
 
 func (o *bufferizeOp) Run(ctx *graph.Ctx) error {
 	defer ctx.CloseOutputs()
@@ -144,6 +148,12 @@ func Streamify(g *graph.Graph, name string, bufs, ref *graph.Stream, stride, out
 	}
 	op.outDims = len(readDims)
 	n := g.AddNode(op, bufs, ref)
+	attrs := streamifyAttrs{}
+	if stride != nil && outShape != nil {
+		st, os := *stride, *outShape
+		attrs.Stride, attrs.OutShape = &st, &os
+	}
+	n.SetIR("streamify", attrs)
 	dims := make([]shape.Dim, 0, ref.Shape.Rank()+len(readDims))
 	dims = append(dims, ref.Shape.Dims...)
 	dims = append(dims, readDims...)
@@ -161,6 +171,7 @@ func StreamifyLinear(g *graph.Graph, name string, bufs *graph.Stream) *graph.Str
 	op := &streamifyOp{base: newBase(name), c: -1, free: true}
 	op.outDims = bt.Shape.Rank()
 	n := g.AddNode(op, bufs)
+	n.SetIR("streamify-linear", nil)
 	dims := make([]shape.Dim, 0, bufs.Shape.Rank()+bt.Shape.Rank())
 	dims = append(dims, bufs.Shape.Dims...)
 	dims = append(dims, bt.Shape.Dims...)

@@ -26,6 +26,7 @@ func Flatten(g *graph.Graph, name string, in *graph.Stream, min, max int) *graph
 	}
 	op := &flattenOp{base: newBase(name), min: min, max: max}
 	n := g.AddNode(op, in)
+	n.SetIR("flatten", flattenAttrs{Min: min, Max: max})
 	return g.NewStream(n, outShape, in.DType)
 }
 
@@ -80,6 +81,18 @@ func Reshape(g *graph.Graph, name string, in *graph.Stream, rank, chunk int, pad
 	}
 	op := &reshapeOp{base: newBase(name), rank: rank, chunk: chunk, pad: pad}
 	n := g.AddNode(op, in)
+	attrs := reshapeAttrs{Rank: rank, Chunk: chunk}
+	serializable := true
+	if pad != nil {
+		if padIR, err := graph.ValueToIR(pad); err == nil {
+			attrs.Pad = padIR
+		} else {
+			serializable = false
+		}
+	}
+	if serializable {
+		n.SetIR("reshape", attrs)
+	}
 	data = g.NewStream(n, outShape, in.DType)
 	padding = g.NewStream(n, outShape.Clone(), graph.FlagType{})
 	return data, padding
@@ -204,6 +217,7 @@ type promoteOp struct {
 func Promote(g *graph.Graph, name string, in *graph.Stream) *graph.Stream {
 	op := &promoteOp{base: newBase(name), oldDims: in.Shape.Rank()}
 	n := g.AddNode(op, in)
+	n.SetIR("promote", nil)
 	return g.NewStream(n, in.Shape.Promote(), in.DType)
 }
 
@@ -257,6 +271,7 @@ func Expand(g *graph.Graph, name string, in, ref *graph.Stream, rank int) *graph
 	}
 	op := &expandOp{base: newBase(name), rank: rank}
 	n := g.AddNode(op, in, ref)
+	n.SetIR("expand", expandAttrs{Rank: rank})
 	// On-chip requirement: |output dtype| (§4.2) — the held element.
 	op.onchip = in.DType.Bytes()
 	return g.NewStream(n, outShape, in.DType)
@@ -327,6 +342,7 @@ func Zip(g *graph.Graph, name string, a, b *graph.Stream) *graph.Stream {
 	}
 	op := &zipOp{base: newBase(name)}
 	n := g.AddNode(op, a, b)
+	n.SetIR("zip", nil)
 	return g.NewStream(n, a.Shape.Clone(), graph.TupleType{A: a.DType, B: b.DType})
 }
 
@@ -370,6 +386,7 @@ func RepeatElems(g *graph.Graph, name string, in *graph.Stream, count int) *grap
 	}
 	op := &repeatOp{base: newBase(name), count: count}
 	n := g.AddNode(op, in)
+	n.SetIR("repeat-elems", repeatAttrs{Count: count})
 	dims := make([]shape.Dim, 0, in.Shape.Rank()+1)
 	dims = append(dims, in.Shape.Dims...)
 	dims = append(dims, shape.Static(count))

@@ -24,6 +24,10 @@ func Source(g *graph.Graph, name string, sh shape.Shape, dt graph.DType, elems [
 	}
 	op := &sourceOp{base: newBase(name), elems: elems}
 	n := g.AddNode(op)
+	// The IR attrs convert lazily at encode time (see sourceAttrsLazy):
+	// element values without a wire form (buffer references, custom
+	// values) surface as an encode error naming this node.
+	n.SetIR("source", sourceAttrsLazy{sh: sh, dt: dt, elems: elems})
 	return g.NewStream(n, sh, dt)
 }
 
@@ -48,7 +52,14 @@ func CountSource(g *graph.Graph, name string, n int) *graph.Stream {
 		elems = append(elems, element.DataOf(element.Scalar{V: int64(i)}))
 	}
 	elems = append(elems, element.DoneElem)
-	return Source(g, name, shape.OfInts(n), graph.ScalarType{}, elems)
+	out := Source(g, name, shape.OfInts(n), graph.ScalarType{}, elems)
+	// Replace the inner source description with the compact form — but
+	// only inside the loader's bound, so the IR stays loadable (larger
+	// counts keep the verbose literal-source form).
+	if n >= 0 && n <= graph.MaxIRCount {
+		out.Producer().SetIR("count-source", countSourceAttrs{N: n})
+	}
+	return out
 }
 
 // CaptureOp is a sink that records every element it receives; tests and
@@ -61,9 +72,12 @@ type CaptureOp struct {
 // Capture attaches a recording sink to the stream.
 func Capture(g *graph.Graph, name string, in *graph.Stream) *CaptureOp {
 	op := &CaptureOp{base: newBase(name)}
-	g.AddNode(op, in)
+	g.AddNode(op, in).SetIR("capture", nil)
 	return op
 }
+
+// ResetRunState clears the recorded elements between runs.
+func (o *CaptureOp) ResetRunState() { o.got = nil }
 
 func (o *CaptureOp) Run(ctx *graph.Ctx) error {
 	for {
@@ -89,7 +103,7 @@ type sinkOp struct{ base }
 // region outside this graph).
 func Sink(g *graph.Graph, name string, in *graph.Stream) {
 	op := &sinkOp{base: newBase(name)}
-	g.AddNode(op, in)
+	g.AddNode(op, in).SetIR("sink", nil)
 }
 
 func (o *sinkOp) Run(ctx *graph.Ctx) error {
@@ -121,6 +135,9 @@ func Broadcast(g *graph.Graph, name string, in *graph.Stream, k int) []*graph.St
 	}
 	op := &broadcastOp{base: newBase(name), k: k}
 	n := g.AddNode(op, in)
+	if k <= graph.MaxIRFanout {
+		n.SetIR("broadcast", broadcastAttrs{K: k})
+	}
 	outs := make([]*graph.Stream, k)
 	for i := range outs {
 		outs[i] = g.NewStream(n, in.Shape.Clone(), in.DType)
@@ -160,6 +177,7 @@ func Take(g *graph.Graph, name string, in *graph.Stream, n int) *graph.Stream {
 	}
 	op := &takeOp{base: newBase(name), n: n}
 	node := g.AddNode(op, in)
+	node.SetIR("take", takeAttrs{N: n})
 	return g.NewStream(node, shape.OfInts(n), in.DType)
 }
 
@@ -214,6 +232,9 @@ type RelayHandle struct{ node *graph.Node }
 func Relay(g *graph.Graph, name string, dt graph.DType, sh shape.Shape) (*RelayHandle, *graph.Stream) {
 	op := &relayOp{base: newBase(name)}
 	n := g.AddNode(op)
+	if dtIR, err := graph.DTypeToIR(dt); err == nil {
+		n.SetIR("relay", relayAttrs{DType: *dtIR, Shape: *graph.ShapeToIR(sh)})
+	}
 	out := g.NewStream(n, sh, dt)
 	return &RelayHandle{node: n}, out
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"step/internal/graph"
 	"step/internal/harness"
 	"step/internal/trace"
 	"step/internal/workloads"
@@ -115,10 +116,11 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 		if err != nil {
 			return attnResult{}, err
 		}
-		res, err := a.Graph.Run(s.GraphConfig())
+		sess, err := a.Program.Run(graph.WithConfig(s.GraphConfig()), graph.WithSeed(s.Seed))
 		if err != nil {
 			return attnResult{}, err
 		}
+		res := sess.Result
 		var total int64
 		for _, l := range kvLens {
 			total += int64(l)

@@ -38,6 +38,22 @@ import (
 // Canonicalize validates first and is idempotent: canonicalizing a
 // canonical spec returns it unchanged.
 func (sp Spec) Canonicalize() (Spec, error) {
+	if sp.Kind == KindProgram {
+		// The program branch validates inline: canonicalizeProgram's
+		// single compile subsumes the IR check a full Validate would
+		// repeat (the IR compile is the expensive step for this kind).
+		if sp.ID == "" {
+			return Spec{}, fmt.Errorf("scenario: spec needs an id")
+		}
+		c := sp
+		if err := c.validateProgramFields(); err != nil {
+			return Spec{}, err
+		}
+		if err := canonicalizeProgram(&c); err != nil {
+			return Spec{}, err
+		}
+		return c, nil
+	}
 	if err := sp.Validate(); err != nil {
 		return Spec{}, err
 	}
@@ -259,6 +275,12 @@ func (sp Spec) PointCount(quick bool) int {
 			nS = 1
 		}
 		return matrix * nM * axis(len(sp.Batches)) * nS
+	case KindProgram:
+		nD := len(sp.Depths)
+		if nD == 0 {
+			nD = 1
+		}
+		return matrix * nD
 	}
 	return 0
 }

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"step/internal/graph"
+	"step/internal/harness"
+)
+
+// The program kind runs a user-authored program IR — any dataflow graph
+// expressible in the serializable program format — through the same
+// sweep/caching/serving machinery as the canned workload kinds. The
+// sweep axis is the default stream FIFO depth (Depths); each grid point
+// compiles nothing and builds nothing in Go: the program is
+// instantiated fresh from its IR, so points are independent and tables
+// are byte-identical at any worker count, same as every other kind.
+
+// defaultChannelDepth is the engine's default stream FIFO depth; the
+// program kind materializes it into the depths axis during
+// canonicalization so equal sweeps share one cache address.
+var defaultChannelDepth = graph.DefaultConfig().ChannelDepth
+
+// validateProgram checks a program-kind spec: the field shape
+// (validateProgramFields) plus an IR that actually compiles.
+func (sp Spec) validateProgram() error {
+	if err := sp.validateProgramFields(); err != nil {
+		return err
+	}
+	if _, err := sp.compileProgram(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateProgramFields checks everything but the IR itself: exactly
+// an embedded IR (program_file is resolved by Load), no fields of the
+// workload kinds, positive depths.
+func (sp Spec) validateProgramFields() error {
+	if sp.ProgramFile != "" {
+		return fmt.Errorf("scenario %s: program_file must be resolved before validation (load the spec from a file, or embed the IR in program)", sp.ID)
+	}
+	if len(sp.Program) == 0 {
+		return fmt.Errorf("scenario %s: program kind needs an embedded program IR", sp.ID)
+	}
+	if err := sp.rejectIgnoredFields(); err != nil {
+		return err
+	}
+	for _, d := range sp.Depths {
+		if d < 1 {
+			return fmt.Errorf("scenario %s: non-positive depth %d", sp.ID, d)
+		}
+		// Channel buffers allocate eagerly per stream: an unbounded
+		// depth axis would let one submission OOM the serving process.
+		if d > 1<<16 {
+			return fmt.Errorf("scenario %s: depth %d exceeds %d", sp.ID, d, 1<<16)
+		}
+	}
+	return nil
+}
+
+// progCache memoizes compiled programs by the raw bytes of the
+// embedded IR. One submission compiles the same document several times
+// on the serving path (validation, canonicalization for the cache key,
+// the sweep itself); compiled Programs are immutable and instantiate a
+// fresh graph per run, so sharing one across those callers — and
+// across concurrent jobs — is safe. The map is bounded: past the cap
+// it is dropped wholesale (entries are pure caches; losing them only
+// costs a recompile).
+var progCache struct {
+	sync.Mutex
+	m map[[sha256.Size]byte]*graph.Program
+}
+
+const progCacheCap = 64
+
+// CompileProgram compiles a raw program IR document through the
+// package's memo, shared with spec validation, canonicalization, and
+// execution — a service submission compiles each unique document once.
+func CompileProgram(body []byte) (*graph.Program, error) {
+	return Spec{ID: "program", Program: body}.compileProgram()
+}
+
+// compileProgram parses and compiles the embedded IR, memoized on the
+// raw document bytes.
+func (sp Spec) compileProgram() (*graph.Program, error) {
+	key := sha256.Sum256(sp.Program)
+	progCache.Lock()
+	prog, ok := progCache.m[key]
+	progCache.Unlock()
+	if ok {
+		return prog, nil
+	}
+	ir, err := graph.ParseProgramIR(sp.Program)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sp.ID, err)
+	}
+	prog, err = graph.CompileIR(ir)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sp.ID, err)
+	}
+	progCache.Lock()
+	if progCache.m == nil || len(progCache.m) >= progCacheCap {
+		progCache.m = make(map[[sha256.Size]byte]*graph.Program)
+	}
+	progCache.m[key] = prog
+	progCache.Unlock()
+	return prog, nil
+}
+
+// canonicalizeProgram rewrites a valid program-kind spec into canonical
+// form: the IR is replayed through its constructors and re-serialized
+// with sorted keys (so formatting and field order stop mattering to the
+// cache address, while content forms like seeded random tiles are
+// preserved), and the default depths axis is materialized.
+func canonicalizeProgram(c *Spec) error {
+	prog, err := c.compileProgram()
+	if err != nil {
+		return err
+	}
+	canonical, err := prog.CanonicalJSON()
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", c.ID, err)
+	}
+	c.Program = canonical
+	if len(c.Depths) == 0 {
+		c.Depths = []int{defaultChannelDepth}
+	}
+	return nil
+}
+
+// programPoint is one simulated grid point of a program sweep.
+type programPoint struct {
+	cycles  uint64
+	traffic int64
+	onchip  int64
+	flops   int64
+}
+
+// runProgram compiles the embedded IR once and instantiates it fresh
+// per depth-axis point.
+func runProgram(sp Spec, s harness.Suite) (*harness.Table, error) {
+	s = s.EnsurePool()
+	prog, err := sp.compileProgram()
+	if err != nil {
+		return nil, err
+	}
+	depths := sp.Depths
+	if len(depths) == 0 {
+		depths = []int{defaultChannelDepth}
+	}
+	results, err := harness.ParMap(s, len(depths), func(i int) (programPoint, error) {
+		sess, err := prog.Run(
+			graph.WithConfig(s.GraphConfig()),
+			graph.WithSeed(s.Seed),
+			graph.WithChannelDepth(depths[i]),
+		)
+		if err != nil {
+			return programPoint{}, fmt.Errorf("scenario %s: depth %d: %w", sp.ID, depths[i], err)
+		}
+		res := sess.Result
+		return programPoint{
+			cycles:  uint64(res.Cycles),
+			traffic: res.OffchipTrafficBytes,
+			onchip:  res.PeakOnchipBytes,
+			flops:   res.TotalFLOPs,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &harness.Table{
+		ID:     sp.ID,
+		Title:  sp.Title,
+		Header: []string{"Depth", "Cycles", "TrafficBytes", "PeakOnchipBytes", "FLOPs"},
+	}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+	for i, d := range depths {
+		r := results[i]
+		t.AddRow(d, r.cycles, r.traffic, r.onchip, r.flops)
+	}
+	hash, err := prog.Hash()
+	if err != nil {
+		return nil, err
+	}
+	name := prog.Name()
+	if name == "" {
+		name = "(unnamed)"
+	}
+	t.Notef("program %s: %d nodes, %d streams, ir %s", name, prog.NodeCount(), prog.StreamCount(), hash[:12])
+	t.Notes = append(t.Notes, sp.Notes...)
+	return t, nil
+}

@@ -68,6 +68,8 @@ func runKind(sp Spec, s harness.Suite) (*harness.Table, error) {
 		return runAttention(sp, s)
 	case KindDecoder:
 		return runDecoder(sp, s)
+	case KindProgram:
+		return runProgram(sp, s)
 	}
 	return nil, fmt.Errorf("scenario %s: unknown kind %q", sp.ID, sp.Kind)
 }

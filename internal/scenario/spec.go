@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"step/internal/trace"
@@ -59,6 +60,12 @@ const (
 	// KindDecoder sweeps the end-to-end decoder over batch sizes and
 	// schedules ("dynamic" or "static:<tile>").
 	KindDecoder = "decoder"
+	// KindProgram runs a user-authored program IR (any dataflow graph
+	// expressible in the serializable program format, see internal/graph
+	// ProgramIR) across a stream-FIFO-depth axis. The spec embeds the IR
+	// (program) or, when loaded from a file, references one
+	// (program_file).
+	KindProgram = "program"
 )
 
 // ModelSpec names a model architecture: a built-in by name ("qwen",
@@ -184,6 +191,18 @@ type Spec struct {
 	// off-chip traffic (the Fig. 19/20 view).
 	UseTraffic bool `json:"use_traffic,omitempty"`
 
+	// Program embeds a serializable program IR (kind "program" only):
+	// the JSON document graph.EncodeIR produces / stepctl program
+	// compile validates. The sweep instantiates it fresh per point.
+	Program json.RawMessage `json:"program,omitempty"`
+	// ProgramFile references a program IR file relative to the spec
+	// file. Load resolves and embeds it into Program; specs parsed from
+	// bytes (HTTP submissions) must embed the IR directly.
+	ProgramFile string `json:"program_file,omitempty"`
+	// Depths sweeps the default stream FIFO depth of the program kind
+	// (default: the standard channel depth, 16).
+	Depths []int `json:"depths,omitempty"`
+
 	// Presentation.
 	// Compare pivots the strategy axis into columns (one cycles column
 	// per strategy plus a Speedup column: first strategy over last).
@@ -194,14 +213,37 @@ type Spec struct {
 	Notes []string `json:"notes,omitempty"`
 }
 
-// Load reads and validates a spec file.
+// Load reads and validates a spec file. A program-kind spec may
+// reference its IR with program_file (relative to the spec file); Load
+// embeds the referenced document into Program before validating.
 func Load(path string) (Spec, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return Spec{}, fmt.Errorf("scenario: %w", err)
 	}
-	sp, err := Parse(b)
+	sp, err := decodeSpec(b)
 	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if sp.ProgramFile != "" {
+		if sp.Kind != KindProgram {
+			return Spec{}, fmt.Errorf("%s: scenario %s: field %q is not used by kind %q", path, sp.ID, "program_file", sp.Kind)
+		}
+		if len(sp.Program) > 0 {
+			return Spec{}, fmt.Errorf("%s: scenario %s: program and program_file are mutually exclusive", path, sp.ID)
+		}
+		irPath := sp.ProgramFile
+		if !filepath.IsAbs(irPath) {
+			irPath = filepath.Join(filepath.Dir(path), irPath)
+		}
+		irBytes, err := os.ReadFile(irPath)
+		if err != nil {
+			return Spec{}, fmt.Errorf("%s: scenario %s: program_file: %w", path, sp.ID, err)
+		}
+		sp.Program = irBytes
+		sp.ProgramFile = ""
+	}
+	if err := sp.Validate(); err != nil {
 		return Spec{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return sp, nil
@@ -209,16 +251,27 @@ func Load(path string) (Spec, error) {
 
 // Parse decodes and validates a JSON spec. Unknown fields are rejected,
 // so a typoed axis name fails loudly instead of silently sweeping
-// nothing.
+// nothing. Specs parsed from bytes must embed program IRs directly
+// (program_file is a Load-time convenience, not honored here — a server
+// must not read request-supplied file paths).
 func Parse(b []byte) (Spec, error) {
+	sp, err := decodeSpec(b)
+	if err != nil {
+		return Spec{}, err
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// decodeSpec strictly decodes a spec without validating it.
+func decodeSpec(b []byte) (Spec, error) {
 	dec := json.NewDecoder(bytes.NewReader(b))
 	dec.DisallowUnknownFields()
 	var sp Spec
 	if err := dec.Decode(&sp); err != nil {
 		return Spec{}, fmt.Errorf("scenario: parse spec: %w", err)
-	}
-	if err := sp.Validate(); err != nil {
-		return Spec{}, err
 	}
 	return sp, nil
 }
@@ -256,6 +309,18 @@ func (sp Spec) resolveModels() ([]workloads.ModelConfig, error) {
 func (sp Spec) Validate() error {
 	if sp.ID == "" {
 		return fmt.Errorf("scenario: spec needs an id")
+	}
+	if sp.Kind == KindProgram {
+		return sp.validateProgram()
+	}
+	if len(sp.Program) > 0 {
+		return fmt.Errorf("scenario %s: field %q is not used by kind %q", sp.ID, "program", sp.Kind)
+	}
+	if sp.ProgramFile != "" {
+		return fmt.Errorf("scenario %s: field %q is not used by kind %q", sp.ID, "program_file", sp.Kind)
+	}
+	if len(sp.Depths) > 0 {
+		return fmt.Errorf("scenario %s: field %q is not used by kind %q", sp.ID, "depths", sp.Kind)
 	}
 	models, err := sp.resolveModels()
 	if err != nil {
@@ -332,9 +397,9 @@ func (sp Spec) Validate() error {
 			return fmt.Errorf("scenario %s: compare is not supported for the decoder kind", sp.ID)
 		}
 	case "":
-		return fmt.Errorf("scenario %s: spec needs a kind (%s, %s, or %s)", sp.ID, KindMoETiling, KindAttention, KindDecoder)
+		return fmt.Errorf("scenario %s: spec needs a kind (%s, %s, %s, or %s)", sp.ID, KindMoETiling, KindAttention, KindDecoder, KindProgram)
 	default:
-		return fmt.Errorf("scenario %s: unknown kind %q (want %s, %s, or %s)", sp.ID, sp.Kind, KindMoETiling, KindAttention, KindDecoder)
+		return fmt.Errorf("scenario %s: unknown kind %q (want %s, %s, %s, or %s)", sp.ID, sp.Kind, KindMoETiling, KindAttention, KindDecoder, KindProgram)
 	}
 	return nil
 }
@@ -351,6 +416,31 @@ func (sp Spec) rejectIgnoredFields() error {
 	}
 	var ignored, groupConflicts []field
 	switch sp.Kind {
+	case KindProgram:
+		ignored = []field{
+			{"models", len(sp.Models) > 0},
+			{"scale", sp.Scale != 0},
+			{"batches", len(sp.Batches) > 0},
+			{"tiles", len(sp.Tiles) > 0},
+			{"quick_tiles", len(sp.QuickTiles) > 0},
+			{"kv_means", len(sp.KVMeans) > 0},
+			{"kv_heads", len(sp.KVHeads) > 0},
+			{"strategies", len(sp.Strategies) > 0},
+			{"batch", sp.Batch != 0},
+			{"kv_mean", sp.KVMean != 0},
+			{"kv_variance", sp.KVVariance != ""},
+			{"skew", sp.Skew != ""},
+			{"regions", sp.Regions != 0},
+			{"kv_chunk", sp.KVChunk != 0},
+			{"coarse_block", sp.CoarseBlock != 0},
+			{"dynamic_cap", sp.DynamicCap != 0},
+			{"groups", len(sp.Groups) > 0},
+			{"seed_per_batch", sp.SeedPerBatch},
+			{"sample_layers", sp.SampleLayers != 0},
+			{"moe_regions", sp.MoERegions != 0},
+			{"use_traffic", sp.UseTraffic},
+			{"compare", sp.Compare},
+		}
 	case KindMoETiling:
 		ignored = []field{
 			{"batches", len(sp.Batches) > 0},

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"step/internal/graph"
 	"step/internal/harness"
 	"step/internal/sched"
 	"step/internal/trace"
@@ -42,10 +43,11 @@ func TilingSweep(s harness.Suite, model workloads.ModelConfig, batch int, tiles 
 		if err != nil {
 			return TilingPoint{}, err
 		}
-		res, err := l.Graph.Run(s.GraphConfig())
+		sess, err := l.Program.Run(graph.WithConfig(s.GraphConfig()), graph.WithSeed(s.Seed))
 		if err != nil {
 			return TilingPoint{}, err
 		}
+		res := sess.Result
 		oc, err := l.OnchipBytes()
 		if err != nil {
 			return TilingPoint{}, err

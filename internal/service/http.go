@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"step/internal/scenario"
@@ -18,6 +19,13 @@ import (
 //	                            ?name=<canned id> with an empty body);
 //	                            query: seed (default 7), quick (bool),
 //	                            wait (duration to block for completion)
+//	POST /programs              submit a program IR (raw IR JSON body):
+//	                            the program is wrapped into a
+//	                            program-kind spec addressed by its
+//	                            canonical hash and runs through the same
+//	                            queue, cache, and single-flight paths;
+//	                            query as POST /sweeps plus depths
+//	                            (comma-separated FIFO-depth axis)
 //	GET  /sweeps                list jobs in submission order
 //	GET  /sweeps/{id}           job status + per-point progress
 //	                            (?wait=<duration> blocks for completion)
@@ -34,6 +42,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("POST /programs", s.handleSubmitProgram)
 	mux.HandleFunc("GET /sweeps", s.handleList)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /sweeps/{id}/table", s.handleTable)
@@ -154,11 +163,94 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.submitAndRespond(w, r, sp, seed, quick)
+}
+
+// handleSubmitProgram accepts a raw program IR, wraps it into a
+// program-kind spec addressed by the IR's canonical hash, and submits
+// it through the same queue/cache paths as POST /sweeps.
+func (s *Service) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
+	seed, err := queryUint(r, "seed", 7)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	quick, err := queryBool(r, "quick")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	depths, err := queryInts(r, "depths")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "program exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	if len(body) == 0 {
+		httpError(w, http.StatusBadRequest, "need a program IR JSON body")
+		return
+	}
+	// The scenario package memoizes compiled programs by document, so
+	// this compile is shared with the canonicalization and execution the
+	// submission triggers next.
+	prog, err := scenario.CompileProgram(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := prog.Hash()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp := scenario.Spec{
+		ID:      "program-" + hash[:12],
+		Title:   prog.Name(),
+		Kind:    scenario.KindProgram,
+		Program: body,
+		Depths:  depths,
+	}
+	s.submitAndRespond(w, r, sp, seed, quick)
+}
+
+// queryInts parses a comma-separated integer list query parameter.
+func queryInts(r *http.Request, name string) ([]int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q", name, v)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// submitAndRespond enqueues the spec and renders the job (honoring
+// ?wait=), shared by the sweep and program submission endpoints.
+func (s *Service) submitAndRespond(w http.ResponseWriter, r *http.Request, sp scenario.Spec, seed uint64, quick bool) {
 	job, err := s.Submit(sp, seed, quick)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, ErrQueueFull) {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 			code = http.StatusServiceUnavailable
+		case job.ID == "":
+			// Submit rejected the spec before creating a job (validation
+			// or canonicalization failure): the client's fault.
+			code = http.StatusBadRequest
 		}
 		httpError(w, code, "%v", err)
 		return

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -270,5 +272,90 @@ func TestHTTPParallelSubmitsSingleFlight(t *testing.T) {
 	keys, err := st.Keys()
 	if err != nil || len(keys) != 1 {
 		t.Fatalf("store holds %v (%v), want exactly one entry", keys, err)
+	}
+}
+
+// TestHTTPSubmitProgram drives the POST /programs round trip: a raw
+// program IR (no Go code) is accepted, executed, and served; the
+// repeated submission answers from the cache; and the served table is
+// byte-identical to a direct scenario.Run of the equivalent spec.
+func TestHTTPSubmitProgram(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Executors: 2, Workers: 2})
+	ir, err := os.ReadFile("../../examples/programs/pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func() Job {
+		resp, err := http.Post(srv.URL+"/programs?wait=60s&depths=2,16", "application/json", bytes.NewReader(ir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		return decodeJob(t, resp.Body)
+	}
+
+	first := post()
+	if first.State != StateDone {
+		t.Fatalf("first submission state = %s, want done", first.State)
+	}
+	if !strings.HasPrefix(first.SpecID, "program-") {
+		t.Fatalf("spec id %q not derived from the program hash", first.SpecID)
+	}
+	if first.PointsTotal != 2 || first.PointsDone != 2 {
+		t.Fatalf("points = %d/%d, want 2/2", first.PointsDone, first.PointsTotal)
+	}
+
+	second := post()
+	if second.State != StateCached {
+		t.Fatalf("repeated submission state = %s, want cached", second.State)
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys differ: %s vs %s", second.Key, first.Key)
+	}
+
+	// Served bytes must equal a direct scenario.Run of the same spec.
+	code, body, _ := get(t, srv.URL+"/sweeps/"+second.ID+"/table")
+	if code != http.StatusOK {
+		t.Fatalf("table status %d: %s", code, body)
+	}
+	want, err := scenario.Run(scenario.Spec{
+		ID:      first.SpecID,
+		Title:   "pipeline",
+		Kind:    scenario.KindProgram,
+		Program: ir,
+		Depths:  []int{2, 16},
+	}, harness.Suite{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Fatalf("served table differs from direct run:\n%s\nvs\n%s", body, want.String())
+	}
+
+	// Quick mode has no effect on programs: a quick submission of the
+	// same body must collapse onto the existing cache entry.
+	respQ, err := http.Post(srv.URL+"/programs?wait=60s&depths=2,16&quick=1", "application/json", bytes.NewReader(ir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quickJob := decodeJob(t, respQ.Body)
+	respQ.Body.Close()
+	if quickJob.State != StateCached {
+		t.Fatalf("quick submission state = %s, want cached (quick must not split the program key)", quickJob.State)
+	}
+
+	// Garbage and oversized bodies fail loudly.
+	resp, err := http.Post(srv.URL+"/programs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage program: status %d", resp.StatusCode)
 	}
 }

@@ -223,6 +223,9 @@ func (s *Service) Close() {
 // ErrQueueFull is returned by Submit when the backlog is at capacity.
 var ErrQueueFull = errors.New("service: job queue is full")
 
+// ErrClosed is returned by Submit once the service is shutting down.
+var ErrClosed = errors.New("service: closed")
+
 // Submit validates the spec, addresses it, and enqueues a job. A
 // store hit is answered immediately with a cached job; otherwise the
 // job starts queued and an executor picks it up.
@@ -245,7 +248,7 @@ func (s *Service) Submit(sp scenario.Spec, seed uint64, quick bool) (Job, error)
 	if s.closed {
 		s.mu.Unlock()
 		cancel()
-		return Job{}, errors.New("service: closed")
+		return Job{}, ErrClosed
 	}
 	s.seq++
 	j.id = fmt.Sprintf("job-%d", s.seq)
@@ -265,7 +268,7 @@ func (s *Service) Submit(sp scenario.Spec, seed uint64, quick bool) (Job, error)
 	if s.closed {
 		s.mu.Unlock()
 		j.finish(StateCanceled, "service closed")
-		return j.snapshot(), errors.New("service: closed")
+		return j.snapshot(), ErrClosed
 	}
 	select {
 	case s.queue <- j:

@@ -54,6 +54,13 @@ func Key(sp scenario.Spec, seed uint64, quick bool) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Quick mode has no effect on the program kind (it has no
+	// quick-dependent parameters), so both settings render identical
+	// bytes — collapse them onto one address instead of simulating and
+	// storing the same result twice.
+	if sp.Kind == scenario.KindProgram {
+		quick = false
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\nseed=%d\nquick=%t\nspec=", FormatVersion, seed, quick)
 	h.Write(cj)

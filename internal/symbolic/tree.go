@@ -1,0 +1,88 @@
+package symbolic
+
+import "fmt"
+
+// Tree is an explicit, exported representation of an Expr, used by
+// serializers (the program IR) that need to walk an expression without
+// access to the unexported node types. Kind is one of "const", "sym",
+// "add", "mul", "ceildiv" (Args = [num, den]), or "max".
+type Tree struct {
+	Kind  string
+	Const int64
+	Sym   string
+	Args  []Tree
+}
+
+// ToTree decomposes an expression into its explicit tree form.
+func ToTree(e Expr) Tree {
+	switch t := e.(type) {
+	case constExpr:
+		return Tree{Kind: "const", Const: int64(t)}
+	case symExpr:
+		return Tree{Kind: "sym", Sym: string(t)}
+	case addExpr:
+		return Tree{Kind: "add", Args: toTrees(t.terms)}
+	case mulExpr:
+		return Tree{Kind: "mul", Args: toTrees(t.factors)}
+	case ceilDivExpr:
+		return Tree{Kind: "ceildiv", Args: []Tree{ToTree(t.num), ToTree(t.den)}}
+	case maxExpr:
+		return Tree{Kind: "max", Args: toTrees(t.args)}
+	default:
+		panic(fmt.Sprintf("symbolic: unknown expr type %T", e))
+	}
+}
+
+func toTrees(es []Expr) []Tree {
+	out := make([]Tree, len(es))
+	for i, e := range es {
+		out[i] = ToTree(e)
+	}
+	return out
+}
+
+// FromTree rebuilds an expression from its tree form. Constructors
+// re-simplify, so FromTree(ToTree(e)) is structurally equal to e.
+func FromTree(t Tree) (Expr, error) {
+	switch t.Kind {
+	case "const":
+		return Const(t.Const), nil
+	case "sym":
+		if t.Sym == "" {
+			return nil, fmt.Errorf("symbolic: tree sym node without a name")
+		}
+		return Sym(t.Sym), nil
+	case "add", "mul", "max":
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			e, err := FromTree(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		switch t.Kind {
+		case "add":
+			return Add(args...), nil
+		case "mul":
+			return Mul(args...), nil
+		default:
+			return Max(args...), nil
+		}
+	case "ceildiv":
+		if len(t.Args) != 2 {
+			return nil, fmt.Errorf("symbolic: ceildiv tree needs 2 args, got %d", len(t.Args))
+		}
+		num, err := FromTree(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		den, err := FromTree(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return CeilDiv(num, den), nil
+	default:
+		return nil, fmt.Errorf("symbolic: unknown tree kind %q", t.Kind)
+	}
+}

@@ -98,9 +98,11 @@ func (c *AttentionConfig) Validate() error {
 
 // Attention is a built attention graph with inspection handles.
 type Attention struct {
-	Graph  *graph.Graph
-	Cfg    AttentionConfig
-	Output *ops.CaptureOp
+	Graph *graph.Graph
+	// Program is the compiled, immutable form of Graph.
+	Program *graph.Program
+	Cfg     AttentionConfig
+	Output  *ops.CaptureOp
 }
 
 // BuildAttention constructs the decode-attention graph under the given
@@ -146,7 +148,11 @@ func BuildAttention(cfg AttentionConfig) (*Attention, error) {
 	merged, mergedSel := ops.EagerMerge(g, "collect", results)
 	ops.Sink(g, "collect.selsink", mergedSel)
 	cap := ops.Capture(g, "out", merged)
-	return &Attention{Graph: g, Cfg: cfg, Output: cap}, nil
+	prog, err := g.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Attention{Graph: g, Program: prog, Cfg: cfg, Output: cap}, nil
 }
 
 // staticSelector builds the coarse or interleaved dispatch selector.

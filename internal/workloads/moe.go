@@ -75,10 +75,13 @@ func (c *MoELayerConfig) Validate() error {
 // MoELayer is a built MoE-layer graph with its symbolic environment and
 // inspection handles.
 type MoELayer struct {
-	Graph  *graph.Graph
-	Cfg    MoELayerConfig
-	Env    symbolic.Env
-	Output *ops.CaptureOp
+	Graph *graph.Graph
+	// Program is the compiled, immutable form of Graph: run it with
+	// Program.Run for well-defined repeated executions.
+	Program *graph.Program
+	Cfg     MoELayerConfig
+	Env     symbolic.Env
+	Output  *ops.CaptureOp
 	// counts[e] is the number of tokens routed to expert e.
 	counts []int
 	// inputs/weights retained for functional validation.
@@ -181,8 +184,12 @@ func BuildMoELayer(cfg MoELayerConfig) (*MoELayer, error) {
 	out := ops.Accum(b.g, "combine", gathered, 2, combineFn, ops.ComputeOpts{ComputeBW: 64})
 	cap := ops.Capture(b.g, "out", out)
 
+	prog, err := b.g.Compile()
+	if err != nil {
+		return nil, err
+	}
 	return &MoELayer{
-		Graph: b.g, Cfg: cfg, Env: b.env, Output: cap,
+		Graph: b.g, Program: prog, Cfg: cfg, Env: b.env, Output: cap,
 		counts: b.counts, input: b.input, w1: b.w1, w3: b.w3, w2: b.w2,
 	}, nil
 }

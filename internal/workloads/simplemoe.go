@@ -43,7 +43,9 @@ func DefaultSimpleMoEConfig() SimpleMoEConfig {
 
 // SimpleMoE is the built graph plus handles to inspect the run.
 type SimpleMoE struct {
-	Graph   *graph.Graph
+	Graph *graph.Graph
+	// Program is the compiled, immutable form of Graph.
+	Program *graph.Program
 	Output  *ops.CaptureOp
 	cfg     SimpleMoEConfig
 	input   *tile.Tile
@@ -100,7 +102,11 @@ func BuildSimpleMoE(cfg SimpleMoEConfig) (*SimpleMoE, error) {
 	out.OverrideShape(shape.New(shape.Static(cfg.Rows), shape.Dynamic(symbolic.Sym("Dsel")), shape.Static(1)))
 
 	cap := ops.Capture(g, "out", out)
-	return &SimpleMoE{Graph: g, Output: cap, cfg: cfg, input: input, weights: weights}, nil
+	prog, err := g.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &SimpleMoE{Graph: g, Program: prog, Output: cap, cfg: cfg, input: input, weights: weights}, nil
 }
 
 // buildSimpleExpert builds one expert's subgraph: pack rows to tiles,

@@ -43,12 +43,14 @@ func (c SwiGLUConfig) Validate() error {
 // SwiGLU is the built validation workload.
 type SwiGLU struct {
 	Graph *graph.Graph
-	Cfg   SwiGLUConfig
-	Store *ops.StoreHandle
-	x     *tile.Tile
-	w1    *tile.Tile
-	w3    *tile.Tile
-	w2    *tile.Tile
+	// Program is the compiled, immutable form of Graph.
+	Program *graph.Program
+	Cfg     SwiGLUConfig
+	Store   *ops.StoreHandle
+	x       *tile.Tile
+	w1      *tile.Tile
+	w3      *tile.Tile
+	w2      *tile.Tile
 }
 
 // BuildSwiGLU constructs the STeP graph: the input is loaded from off-chip
@@ -116,7 +118,11 @@ func BuildSwiGLU(cfg SwiGLUConfig) (*SwiGLU, error) {
 			symbolic.Const(int64(cfg.InterTile)*int64(cfg.Hidden)*tile.ElemBytes), yBytes, true))
 
 	store := ops.LinearOffChipStore(g, "ystore", y)
-	return &SwiGLU{Graph: g, Cfg: cfg, Store: store, x: x, w1: w1, w3: w3, w2: w2}, nil
+	prog, err := g.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &SwiGLU{Graph: g, Program: prog, Cfg: cfg, Store: store, x: x, w1: w1, w3: w3, w2: w2}, nil
 }
 
 // Reference computes the expected output at the tensor level.

@@ -18,7 +18,10 @@
 //     configuration time-multiplexing, decode attention with three
 //     parallelization strategies, SwiGLU validation, end-to-end decoders).
 //
-// A minimal program:
+// Programs are values: a graph is built once, compiled into an
+// immutable validated Program, and run any number of times — each Run
+// instantiates fresh engine state, so repeated and concurrent runs are
+// well-defined. A minimal program:
 //
 //	g := step.NewGraph()
 //	in := step.CountSource(g, "n", 8)
@@ -28,11 +31,24 @@
 //	        return step.Scalar{V: v.(step.Scalar).V * 2}, 1, nil
 //	    },
 //	}, step.ComputeOpts{ComputeBW: 1})
-//	out := step.Capture(g, "out", dbl)
-//	res, err := g.Run(step.DefaultConfig())
+//	step.Capture(g, "out", dbl)
+//	prog, err := g.Compile()
+//	sess, err := prog.Run(step.WithSeed(7), step.WithSimWorkers(2))
+//	// sess.Result holds the metrics; sess.Captured("out") the stream.
 //
-// See examples/ for the paper's simplified MoE (§3.3), dynamic tiling,
-// dynamic parallelization, and an end-to-end decoder layer.
+// Programs built purely from library constructors and library functions
+// additionally serialize to a canonical JSON IR (Program.IR,
+// step.LoadProgramIR / step.CompileProgramIR), which is what `stepctl
+// program`, the scenario "program" kind, and POST /programs on the
+// sweep service consume: any user-authored graph — shipped as data, no
+// Go code — flows through sweeps, content-addressed caching, and HTTP
+// serving.
+//
+// The legacy mutable API (Graph.Run(Config)) keeps working as a thin
+// shim over the same executor and is deprecated: prefer
+// Compile()/Run(options). See examples/ for the paper's simplified MoE
+// (§3.3), dynamic tiling, dynamic parallelization, an end-to-end
+// decoder layer, and a serialized program IR.
 package step
 
 import (
@@ -53,11 +69,24 @@ import (
 
 // Core graph types.
 type (
-	// Graph is a STeP program under construction.
+	// Graph is a STeP program under construction (a builder). Compile it
+	// into an immutable Program to run it.
 	Graph = graph.Graph
+	// Builder is an alias for Graph emphasizing the build/compile split.
+	Builder = graph.Graph
+	// Program is an immutable, validated, compiled STeP program.
+	Program = graph.Program
+	// Session is the outcome of one Program run.
+	Session = graph.Session
+	// RunOption configures one Program run (WithSeed, WithSimWorkers, …).
+	RunOption = graph.RunOption
+	// ProgramIR is the serializable program format (canonical JSON).
+	ProgramIR = graph.ProgramIR
 	// Stream is a dataflow edge with a symbolic shape and data type.
 	Stream = graph.Stream
 	// Config parameterizes a simulated run.
+	//
+	// Deprecated: prefer Program.Run with functional options.
 	Config = graph.Config
 	// Result summarizes a simulated run.
 	Result = graph.Result
@@ -123,12 +152,42 @@ type (
 	Time = des.Time
 )
 
-// NewGraph creates an empty STeP program.
+// NewGraph creates an empty STeP program builder.
 func NewGraph() *Graph { return graph.New() }
+
+// NewBuilder is NewGraph under the build/compile naming.
+func NewBuilder() *Builder { return graph.New() }
 
 // DefaultConfig is the §5.1 machine: 64 B/cycle on-chip memory units and
 // 1024 B/cycle off-chip bandwidth.
 func DefaultConfig() Config { return graph.DefaultConfig() }
+
+// Functional run options for Program.Run (see graph package docs).
+var (
+	WithConfig         = graph.WithConfig
+	WithSeed           = graph.WithSeed
+	WithSimWorkers     = graph.WithSimWorkers
+	WithHBM            = graph.WithHBM
+	WithOnchip         = graph.WithOnchip
+	WithChannelDepth   = graph.WithChannelDepth
+	WithChannelLatency = graph.WithChannelLatency
+	WithParams         = graph.WithParams
+)
+
+// Program IR entry points: load/parse a serialized program, compile it
+// into a runnable Program, and the registry of serializable operator
+// kinds.
+var (
+	LoadProgramIR    = graph.LoadProgramIR
+	ParseProgramIR   = graph.ParseProgramIR
+	CompileProgramIR = graph.CompileIR
+	RegisteredIROps  = graph.RegisteredIROps
+)
+
+// ErrAlreadyBound is returned by the deprecated Graph.Run when the same
+// graph is already executing on another goroutine. Compiled Programs do
+// not have this restriction.
+var ErrAlreadyBound = graph.ErrAlreadyBound
 
 // Graph construction helpers re-exported from the ops package. Each
 // corresponds to a STeP operator of §3.2 (see Tables 3–7).
