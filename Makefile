@@ -34,10 +34,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
-# One iteration per benchmark: exercises every experiment's bench path
-# without timing noise.
+# One iteration per benchmark, with -benchmem: exercises every
+# experiment's bench path and feeds the regression gate below. Allocation
+# counts at -benchtime=1x are deterministic; timings are not, which is why
+# bench-compare fails only on allocs/op growth (ns/op growth warns — see
+# cmd/benchjson).
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > bench-smoke.out || \
+		{ cat bench-smoke.out; rm -f bench-smoke.out; exit 1; }
+	@cat bench-smoke.out
+	$(GO) run ./cmd/benchjson -compare BENCH_core.json < bench-smoke.out
+	@rm -f bench-smoke.out
 
 # bench-json runs the bench smoke suite (figure benchmarks plus the
 # sequential-vs-parallel DES engine comparison) and renders BENCH_core.json

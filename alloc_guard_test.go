@@ -1,0 +1,34 @@
+package step
+
+import (
+	"testing"
+
+	"step/internal/workloads"
+)
+
+// TestSessionRunAllocBudget is the whole-pipeline allocation-regression
+// guard: one compiled §3.3 simplified-MoE program executed through the
+// Session path, covering the run-scoped arena (channel rings carved from
+// pooled slabs), the de-boxed event heaps, and the lazy channel/process
+// naming. The budget is the measured cost (~760 allocs/run) with >2x
+// headroom; the regressions this guards against — per-event interface
+// boxing, per-block name formatting, per-element diagnostic strings —
+// each cost tens of thousands of allocations per run and overshoot it
+// immediately.
+func TestSessionRunAllocBudget(t *testing.T) {
+	moe, err := workloads.BuildSimpleMoE(workloads.DefaultSimpleMoEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := moe.Program.Run(WithSeed(7)); err != nil {
+			panic(err)
+		}
+	}
+	run() // warm the slab pools
+	avg := testing.AllocsPerRun(5, run)
+	const budget = 2000
+	if avg > budget {
+		t.Fatalf("simple-MoE session run: %.0f allocs/run, budget %d", avg, budget)
+	}
+}

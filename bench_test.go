@@ -119,14 +119,26 @@ func BenchmarkRunAll(b *testing.B) {
 }
 
 // benchSimWorkers returns the DES engine configurations to compare: the
-// sequential reference engine (1) and the conservative parallel engine
-// with one goroutine per dataflow block, scheduled over all cores.
-func benchSimWorkers() []int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 2 {
-		n = 2 // still exercises the parallel engine on single-CPU runners
+// sequential reference engine (1) and the conservative parallel engine at
+// the 2/4/8-core points, so BENCH_core.json tracks a scaling curve rather
+// than a single ratio.
+func benchSimWorkers() []int { return []int{1, 2, 4, 8} }
+
+// pinGOMAXPROCS models a w-core runner for a sim-workers=w variant by
+// capping GOMAXPROCS at min(w, NumCPU) for the variant's duration. On a
+// machine with fewer cores than w the cap is the machine itself — the
+// recorded point then measures oversubscription, not scaling, which is
+// why BENCH_core.json carries num_cpu (see PERFORMANCE.md).
+func pinGOMAXPROCS(w int) (restore func()) {
+	n := w
+	if c := runtime.NumCPU(); n > c {
+		n = c
 	}
-	return []int{1, n}
+	if n < 1 {
+		n = 1
+	}
+	old := runtime.GOMAXPROCS(n)
+	return func() { runtime.GOMAXPROCS(old) }
 }
 
 // BenchmarkEngineCompare measures the same simulations on the sequential
@@ -142,6 +154,7 @@ func BenchmarkEngineCompare(b *testing.B) {
 		}
 		for _, w := range benchSimWorkers() {
 			b.Run(fmt.Sprintf("%s/sim-workers=%d", id, w), func(b *testing.B) {
+				defer pinGOMAXPROCS(w)()
 				s := benchSuite()
 				// Workers=1 disables the harness's sweep-point fan-out so
 				// the measured speedup isolates the DES engine.
@@ -168,6 +181,7 @@ func BenchmarkEngineCompare(b *testing.B) {
 	}
 	for _, w := range benchSimWorkers() {
 		b.Run(fmt.Sprintf("moe-layer/sim-workers=%d", w), func(b *testing.B) {
+			defer pinGOMAXPROCS(w)()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
@@ -187,6 +201,7 @@ func BenchmarkEngineCompare(b *testing.B) {
 	kv := trace.SampleKVLengths(64, 2048, trace.VarHigh, 7)
 	for _, w := range benchSimWorkers() {
 		b.Run(fmt.Sprintf("attention/sim-workers=%d", w), func(b *testing.B) {
+			defer pinGOMAXPROCS(w)()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				a, err := workloads.BuildAttention(workloads.AttentionConfig{

@@ -4,6 +4,13 @@
 // BenchmarkEngineCompare sub-benchmarks. CI runs it via `make bench-json`
 // to emit BENCH_core.json, so the perf trajectory of the simulator core
 // is tracked from one PR to the next.
+//
+// With -compare <baseline.json> it instead gates a run against a committed
+// report: >20% allocs/op growth on any shared benchmark fails (allocations
+// are deterministic, so this is a reliable signal even on noisy CI boxes);
+// >20% ns/op growth only warns, because wall time does not transfer across
+// machines — pass -strict to fail on time regressions too (for like-for-
+// like hardware).
 package main
 
 import (
@@ -47,6 +54,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	compare := flag.String("compare", "", "baseline report to gate against (fails on >20% allocs/op growth)")
+	strict := flag.Bool("strict", false, "with -compare: fail on ns/op regressions too (like-for-like hardware only)")
 	flag.Parse()
 
 	rep := Report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
@@ -89,6 +98,14 @@ func main() {
 	}
 	rep.Speedups = deriveSpeedups(rep.Benchmarks)
 
+	if *compare != "" {
+		if err := compareReports(*compare, rep, *strict); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -105,6 +122,75 @@ func main() {
 	}
 }
 
+// regressionTolerance is the benchstat-style gate: a shared benchmark may
+// grow by at most 20% before the comparison flags it.
+const regressionTolerance = 1.20
+
+// minGatedAllocs ignores benchmarks whose baseline allocation count is in
+// the noise floor (a 20% swing on 50 allocs is scheduling jitter, not a
+// hot-path regression).
+const minGatedAllocs = 500
+
+// compareReports gates cur against the baseline report at path: any
+// shared benchmark whose allocs/op grew past the tolerance is a failure
+// (allocations are deterministic); ns/op growth warns, or fails under
+// strict. Benchmarks present on only one side are reported informationally
+// — the gate must not block adding or renaming benchmarks.
+func compareReports(path string, cur Report, strict bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	baseBy := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var failures, warnings []string
+	shared := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("new       %s (no baseline)\n", c.Name)
+			continue
+		}
+		shared++
+		if b.AllocsPerOp >= minGatedAllocs && c.AllocsPerOp > 0 {
+			ratio := float64(c.AllocsPerOp) / float64(b.AllocsPerOp)
+			if ratio > regressionTolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s: allocs/op %d -> %d (%.2fx)", c.Name, b.AllocsPerOp, c.AllocsPerOp, ratio))
+			}
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			ratio := c.NsPerOp / b.NsPerOp
+			if ratio > regressionTolerance {
+				msg := fmt.Sprintf("%s: ns/op %.0f -> %.0f (%.2fx)", c.Name, b.NsPerOp, c.NsPerOp, ratio)
+				if strict {
+					failures = append(failures, msg)
+				} else {
+					warnings = append(warnings, msg)
+				}
+			}
+		}
+	}
+	for _, w := range warnings {
+		fmt.Printf("warn      %s\n", w)
+	}
+	for _, f := range failures {
+		fmt.Printf("REGRESSED %s\n", f)
+	}
+	fmt.Printf("compared %d benchmarks against %s (baseline num_cpu=%d, this run num_cpu=%d): %d regression(s), %d warning(s)\n",
+		shared, path, base.NumCPU, cur.NumCPU, len(failures), len(warnings))
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(failures), (regressionTolerance-1)*100)
+	}
+	return nil
+}
+
 // trimCPUSuffix drops the "-8" GOMAXPROCS suffix go test appends.
 func trimCPUSuffix(name string) string {
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -116,7 +202,8 @@ func trimCPUSuffix(name string) string {
 }
 
 // deriveSpeedups pairs BenchmarkEngineCompare/<workload>/sim-workers=1
-// with the highest-worker variant of the same workload.
+// with every parallel variant of the same workload, yielding a scaling
+// curve per workload rather than a single best-case ratio.
 func deriveSpeedups(benches []Bench) []Speedup {
 	type variant struct {
 		workers int
@@ -140,25 +227,33 @@ func deriveSpeedups(benches []Bench) []Speedup {
 	}
 	var out []Speedup
 	for workload, vs := range byWorkload {
-		var seq, par variant
+		var seq variant
 		for _, v := range vs {
 			if v.workers <= 1 {
 				seq = v
-			} else if v.workers > par.workers {
-				par = v
 			}
 		}
-		if seq.ns == 0 || par.ns == 0 {
+		if seq.ns == 0 {
 			continue
 		}
-		out = append(out, Speedup{
-			Workload:   workload,
-			SeqNsPerOp: seq.ns,
-			ParNsPerOp: par.ns,
-			ParWorkers: par.workers,
-			Speedup:    seq.ns / par.ns,
-		})
+		for _, par := range vs {
+			if par.workers <= 1 || par.ns == 0 {
+				continue
+			}
+			out = append(out, Speedup{
+				Workload:   workload,
+				SeqNsPerOp: seq.ns,
+				ParNsPerOp: par.ns,
+				ParWorkers: par.workers,
+				Speedup:    seq.ns / par.ns,
+			})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].ParWorkers < out[j].ParWorkers
+	})
 	return out
 }

@@ -21,6 +21,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -170,6 +172,8 @@ func sweep(args []string) error {
 		out        = fs.String("out", "", "directory to write a CSV result into")
 		cache      = fs.Bool("cache", false, "serve byte-identical repeats from the content-addressed result cache")
 		cacheDir   = fs.String("cache-dir", ".step-cache", "result cache directory (with -cache)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (post-run, post-GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -222,24 +226,61 @@ func sweep(args []string) error {
 		}
 	}
 
-	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
-	start := time.Now()
-	tb, err := scenario.Run(sp, suite)
-	if err != nil {
-		return err
-	}
-	fmt.Println(tb.String())
-	if st != nil {
-		entry, err := store.NewEntry(sp, *seed, *quick, tb.String(), tb.CSV(), store.GitDescribe("."), time.Since(start))
+	return withProfiles(*cpuProfile, *memProfile, func() error {
+		suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
+		start := time.Now()
+		tb, err := scenario.Run(sp, suite)
 		if err != nil {
 			return err
 		}
-		if err := st.Put(entry); err != nil {
+		fmt.Println(tb.String())
+		if st != nil {
+			entry, err := store.NewEntry(sp, *seed, *quick, tb.String(), tb.CSV(), store.GitDescribe("."), time.Since(start))
+			if err != nil {
+				return err
+			}
+			if err := st.Put(entry); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "sweep: cached %s\n", key)
+		}
+		return writeCSV(*out, tb.ID, tb.CSV())
+	})
+}
+
+// withProfiles brackets run with the pprof collection requested by the
+// -cpuprofile/-memprofile flags (an empty path disables either). The heap
+// profile is written after run completes, preceded by a GC, so it reflects
+// retained memory; inspect allocation volume with
+// `go tool pprof -sample_index=alloc_objects` (see PERFORMANCE.md).
+func withProfiles(cpuPath, memPath string, run func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "sweep: cached %s\n", key)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
-	return writeCSV(*out, tb.ID, tb.CSV())
+	err := run()
+	if memPath != "" {
+		f, ferr := os.Create(memPath)
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // writeCSV writes a sweep's CSV rendering into dir (no-op when empty).
@@ -322,6 +363,8 @@ func exp(args []string) error {
 		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
 		workers    = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
 		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel (identical results)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (post-run, post-GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -334,20 +377,22 @@ func exp(args []string) error {
 		}
 		runners = []experiments.Runner{r}
 	}
-	suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
-	failed := 0
-	for _, oc := range experiments.RunAll(suite, runners) {
-		if oc.Err != nil {
-			fmt.Fprintf(os.Stderr, "stepctl: %s: %v\n", oc.Runner.ID, oc.Err)
-			failed++
-			continue
+	return withProfiles(*cpuProfile, *memProfile, func() error {
+		suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
+		failed := 0
+		for _, oc := range experiments.RunAll(suite, runners) {
+			if oc.Err != nil {
+				fmt.Fprintf(os.Stderr, "stepctl: %s: %v\n", oc.Runner.ID, oc.Err)
+				failed++
+				continue
+			}
+			fmt.Println(oc.Table.String())
 		}
-		fmt.Println(oc.Table.String())
-	}
-	if failed > 0 {
-		return fmt.Errorf("%d experiment(s) failed", failed)
-	}
-	return nil
+		if failed > 0 {
+			return fmt.Errorf("%d experiment(s) failed", failed)
+		}
+		return nil
+	})
 }
 
 func demo() error {

@@ -18,6 +18,7 @@ import (
 type chanCore struct {
 	sim     *Simulation
 	name    string
+	nameFn  func() string // lazy name (NewChanFn); see label
 	cap     int
 	latency Time
 
@@ -68,13 +69,28 @@ type chanCore struct {
 }
 
 func (c *chanCore) init(sim *Simulation, name string, capacity int, latency Time) {
+	c.initOn(sim, name, capacity, latency, make([]Time, capacity), make([]Time, capacity))
+}
+
+// initOn is init with caller-provided ring metadata storage (len must be
+// capacity each); the session arena carves many channels out of one slab.
+func (c *chanCore) initOn(sim *Simulation, name string, capacity int, latency Time, ready, deq []Time) {
 	c.sim = sim
 	c.name = name
 	c.cap = capacity
 	c.latency = latency
-	c.ready = make([]Time, capacity)
-	c.deqTimes = make([]Time, capacity)
+	c.ready = ready
+	c.deqTimes = deq
 	c.headReadyA.Store(uint64(timeInf))
+}
+
+// label returns the channel's diagnostic name, formatting it on demand
+// for lazily named channels. Diagnostics-only; never called on hot paths.
+func (c *chanCore) label() string {
+	if c.nameFn != nil {
+		return c.nameFn()
+	}
+	return c.name
 }
 
 // tail returns the slot index the next send will fill. It is stable under
@@ -149,8 +165,38 @@ func NewChan[T any](sim *Simulation, name string, capacity int, latency Time) *C
 	return c
 }
 
+// NewChanFn creates a channel with a lazily formatted name: nameFn runs
+// only when diagnostics need the name, so building large graphs costs no
+// per-channel string formatting. cap must be >= 1.
+func NewChanFn[T any](sim *Simulation, nameFn func() string, capacity int, latency Time) *Chan[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("des: channel %q capacity must be >= 1", nameFn()))
+	}
+	c := &Chan[T]{vals: make([]T, capacity)}
+	c.core.init(sim, "", capacity, latency)
+	c.core.nameFn = nameFn
+	return c
+}
+
+// NewChanOn is NewChanFn with caller-provided backing storage: ready, deq,
+// and vals must each have length capacity. A session that runs many
+// channels carves them all out of a few pooled slabs and frees the lot
+// wholesale when the run ends, instead of allocating three slices per
+// channel. The caller owns the slabs and must not recycle them until every
+// process of the simulation has finished (i.e. after Run returns); values
+// are the caller's to clear before reuse.
+func NewChanOn[T any](sim *Simulation, nameFn func() string, capacity int, latency Time, ready, deq []Time, vals []T) *Chan[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("des: channel %q capacity must be >= 1", nameFn()))
+	}
+	c := &Chan[T]{vals: vals}
+	c.core.initOn(sim, "", capacity, latency, ready, deq)
+	c.core.nameFn = nameFn
+	return c
+}
+
 // Name returns the channel name.
-func (c *Chan[T]) Name() string { return c.core.name }
+func (c *Chan[T]) Name() string { return c.core.label() }
 
 // Sent returns the number of elements sent so far.
 func (c *Chan[T]) Sent() int64 { return c.core.nSent }
@@ -186,6 +232,39 @@ func (c *Chan[T]) Recv(p *Process) (T, bool) {
 	return v, true
 }
 
+// RecvUntil dequeues a run of elements, handing each to f in turn, and
+// stops after the first element for which f returns false (that element is
+// consumed too). It returns false when the channel is closed and drained
+// before f stopped the run.
+//
+// The virtual-time trace is identical to calling Recv in a loop with no
+// Advance between calls: each dequeue is recorded at the same time the
+// per-element path would record it. The win is mechanical — consecutive
+// already-visible elements are handed out without a park/yield round-trip
+// per element — so results are byte-identical while tight drain loops
+// (e.g. reading a tensor subtree) skip most of the context-switch cost.
+func (c *Chan[T]) RecvUntil(p *Process, f func(T) bool) bool {
+	slot, ok := p.sim.eng.recvWait(&c.core, p)
+	for {
+		if !ok {
+			return false
+		}
+		v := c.vals[slot]
+		var zero T
+		c.vals[slot] = zero
+		if !f(v) {
+			p.sim.eng.recvRelease(&c.core, p)
+			return true
+		}
+		slot, ok = p.sim.eng.recvMore(&c.core, p)
+		if !ok {
+			// Next element not immediately visible (or none yet): take the
+			// full blocking path, which also detects close-and-drained.
+			slot, ok = p.sim.eng.recvWait(&c.core, p)
+		}
+	}
+}
+
 // Close marks the channel closed. Parked receivers — and parked senders,
 // which then observe the canonical "send on closed channel" panic instead
 // of a deadlock — are woken so they can see the close.
@@ -208,9 +287,13 @@ func Select(p *Process, chans ...Selectable) int {
 	if len(chans) == 0 {
 		return -1
 	}
-	cores := make([]*chanCore, len(chans))
-	for i, ch := range chans {
-		cores[i] = ch.chanCoreOf()
+	// Reuse the process's scratch buffer: a Select in a drain loop would
+	// otherwise allocate a slice per call. Safe because both engines are
+	// done with the cores slice by the time sel returns.
+	cores := p.selScratch[:0]
+	for _, ch := range chans {
+		cores = append(cores, ch.chanCoreOf())
 	}
+	p.selScratch = cores
 	return p.sim.eng.sel(p, cores)
 }

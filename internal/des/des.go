@@ -1,31 +1,3 @@
-// Package des is a deterministic discrete-event simulation kernel modeled
-// on the execution style of the Dataflow Abstract Machine (DAM) framework
-// the paper's Rust simulator builds on: a program is a set of asynchronous
-// processes (dataflow blocks) communicating over bounded, latency-annotated
-// FIFO channels with backpressure.
-//
-// Two engines implement the same virtual-time semantics:
-//
-//   - The sequential engine (New, or NewWithWorkers(n) with n <= 1) runs
-//     exactly one process at a time; a central scheduler dispatches wake
-//     events in (time, sequence) order. This is the reference engine.
-//
-//   - The parallel engine (NewWithWorkers(n) with n >= 2) is DAM-style
-//     conservative parallel simulation: every process owns a *local* clock
-//     and runs on its own goroutine; channels bridge time between
-//     processes (a receiver adopts max(its clock, head-ready time); a
-//     backpressured sender resumes at the virtual time its slot was freed,
-//     recorded per dequeue, never at a wall-clock-dependent time). Select
-//     and Serialized are the only conservative synchronization points:
-//     they wait until the senders' published frontiers (local clock +
-//     channel latency) prove that no earlier-visible element or
-//     lower-ordered critical section can still arrive.
-//
-// Both engines produce identical per-process virtual-time traces — and
-// therefore identical simulation results — for programs whose Select
-// inputs and cross-process interactions go through channels with latency
-// >= 1 (the graph executor's default). Processes are plain Go functions;
-// all Process methods must be called from the process's own goroutine.
 package des
 
 import (
@@ -45,18 +17,31 @@ var errAborted = errors.New("des: simulation aborted")
 // Process is the handle a dataflow block uses to interact with virtual
 // time. All methods must be called from the process's own goroutine.
 type Process struct {
-	sim  *Simulation
-	id   int
-	name string
-	fn   func(p *Process) error
-	err  error
+	sim    *Simulation
+	id     int
+	name   string
+	nameFn func() string // lazy name (SpawnFn); formatted only for diagnostics
+	fn     func(p *Process) error
+	err    error
+
+	// selScratch is the reusable core-pointer buffer behind Select, so a
+	// Select in a loop does not allocate per call. Only the process's own
+	// goroutine touches it.
+	selScratch []*chanCore
 
 	seq seqProc // sequential-engine state
 	par parProc // parallel-engine state
 }
 
-// Name returns the process name given at spawn time.
-func (p *Process) Name() string { return p.name }
+// Name returns the process name given at spawn time. For SpawnFn
+// processes the name is formatted on each call; Name is a diagnostics
+// API, not a hot path.
+func (p *Process) Name() string {
+	if p.nameFn != nil {
+		return p.nameFn()
+	}
+	return p.name
+}
 
 // ID returns the process's spawn index. It is the stable tie-break key
 // used to order same-cycle Serialized critical sections.
@@ -104,6 +89,12 @@ type engine interface {
 	sendPublish(c *chanCore, p *Process)
 	recvWait(c *chanCore, p *Process) (int, bool)
 	recvRelease(c *chanCore, p *Process)
+	// recvMore combines recvRelease with an opportunistic peek: when the
+	// next head element is already visible at the receiver's current time
+	// it is handed out without a park/yield round-trip. Timing-equivalent
+	// to recvRelease followed by recvWait that finds the element visible;
+	// ok=false means the caller must fall back to recvWait.
+	recvMore(c *chanCore, p *Process) (int, bool)
 	closeChan(c *chanCore, p *Process)
 	sel(p *Process, cores []*chanCore) int
 }
@@ -158,6 +149,18 @@ func (s *Simulation) Spawn(name string, fn func(p *Process) error) *Process {
 	return p
 }
 
+// SpawnFn registers a process with a lazily formatted name: nameFn runs
+// only when diagnostics (deadlock reports, process errors) need the name,
+// so spawning thousands of processes per run costs no string formatting.
+func (s *Simulation) SpawnFn(nameFn func() string, fn func(p *Process) error) *Process {
+	if s.started {
+		panic("des: Spawn after Run")
+	}
+	p := &Process{sim: s, id: len(s.procs), nameFn: nameFn, fn: fn}
+	s.procs = append(s.procs, p)
+	return p
+}
+
 // Run executes the simulation to completion and returns the final virtual
 // time (the time at which the last process finished) plus the first process
 // error or a deadlock error.
@@ -187,9 +190,20 @@ func deadlockError(at Time, blocked []string) error {
 	return fmt.Errorf("des: deadlock at t=%d; blocked processes: %v", at, blocked)
 }
 
+// blockedDesc materializes a process's blocked-on description for a
+// deadlock report. Blocking records only a static verb plus an optional
+// channel pointer, so the description string is built here, lazily, and
+// never on the block/unblock hot path.
+func blockedDesc(verb string, ch *chanCore) string {
+	if ch != nil {
+		return verb + " " + ch.label()
+	}
+	return verb
+}
+
 // procError wraps a process's own failure.
 func procError(p *Process) error {
-	return fmt.Errorf("process %q: %w", p.name, p.err)
+	return fmt.Errorf("process %q: %w", p.Name(), p.err)
 }
 
 // recoverAsError converts a recovered panic value into the process error,
@@ -202,5 +216,5 @@ func recoverAsError(p *Process, r any) {
 		p.err = nil // aborted externally, not its own fault
 		return
 	}
-	p.err = fmt.Errorf("des: process %q panicked: %v", p.name, r)
+	p.err = fmt.Errorf("des: process %q panicked: %v", p.Name(), r)
 }

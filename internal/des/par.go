@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,7 +46,10 @@ type parProc struct {
 	finished      bool        // guarded by stateMu; finishedA mirrors it lock-free
 	finishedA     atomic.Bool
 	finishClock   Time
-	blockedOn     string
+	// blockedVerb/blockedCh describe the block for deadlock reports;
+	// the string is materialized lazily via blockedDesc.
+	blockedVerb string
+	blockedCh   *chanCore
 
 	serSeq uint64 // owned by the process goroutine
 }
@@ -94,6 +96,17 @@ type parEngine struct {
 	lastWM Time
 	// kickVer versions the per-kick selector-decision cache (stateMu).
 	kickVer uint64
+
+	// Cached lower bounds on live process clocks (stateMu): the smallest
+	// and second-smallest clock seen at the last fastGrantable scan, and
+	// the owner of the smallest. Clocks are monotone, so the cache only
+	// ever understates the truth — a pass of the cached test is always
+	// safe, a failure falls back to a full scan that refreshes it. This
+	// shortens the Serialized fast path from O(procs) to O(1) whenever the
+	// requester is comfortably behind everyone else.
+	minClock  Time
+	minClock2 Time
+	minPid    int
 
 	// Scratch buffers for the evaluator, reused across kicks.
 	bndVal   []Time
@@ -188,11 +201,11 @@ func (e *parEngine) waitGen(p *Process, g0 uint64) {
 }
 
 // parkProc registers p as blocked. set fills the kind-specific fields.
-func (e *parEngine) parkProc(p *Process, kind parkKind, desc string, set func(pp *parProc)) {
+func (e *parEngine) parkProc(p *Process, kind parkKind, verb string, ch *chanCore, set func(pp *parProc)) {
 	e.stateMu.Lock()
 	pp := &p.par
 	pp.kind = kind
-	pp.blockedOn = desc
+	pp.blockedVerb, pp.blockedCh = verb, ch
 	if set != nil {
 		set(pp)
 	}
@@ -225,7 +238,7 @@ func (e *parEngine) unparkProc(p *Process) {
 	e.stateMu.Lock()
 	pp := &p.par
 	pp.kind = parkNone
-	pp.blockedOn = ""
+	pp.blockedVerb, pp.blockedCh = "", nil
 	pp.parkCh = nil
 	pp.parkSels = nil
 	e.running++
@@ -332,7 +345,7 @@ func (e *parEngine) triggerDeadlock() {
 			at = c
 		}
 		if !p.par.finished {
-			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.par.blockedOn))
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.Name(), blockedDesc(p.par.blockedVerb, p.par.blockedCh)))
 		}
 	}
 	e.deadlock = deadlockError(at, stuck)
@@ -374,11 +387,11 @@ func (e *parEngine) serEnqueueOrRunFast(req serReq, fn func()) (g0 uint64, fast 
 		return 0, true
 	}
 	pp := &req.p.par
-	heap.Push(&e.pending, req)
+	e.pending.pushReq(req)
 	pp.kind = parkReq
 	pp.reqT = req.t
 	pp.reqSeq = req.seq
-	pp.blockedOn = "serialized"
+	pp.blockedVerb = "serialized"
 	e.running--
 	// The requester stops being a counted blocker (it is ordered by the
 	// pending heap from here on); without this the cheap grant refutation
@@ -398,7 +411,7 @@ func (e *parEngine) serRunGranted(pp *parProc, fn func()) {
 	e.stateMu.Lock()
 	defer func() {
 		pp.kind = parkNone
-		pp.blockedOn = ""
+		pp.blockedVerb = ""
 		e.grantsInFlight--
 		e.stateMu.Unlock()
 	}()
@@ -407,20 +420,40 @@ func (e *parEngine) serRunGranted(pp *parProc, fn func()) {
 
 // fastGrantable reports whether req is trivially first: no queued or
 // in-flight critical section, and every other live process's local clock
-// has already passed req.t. Callers hold stateMu.
+// has already passed req.t. The O(procs) scan is skipped when the cached
+// clock minimum (over everyone but the requester) already proves the
+// condition; clock monotonicity makes the cached value a permanent lower
+// bound. Callers hold stateMu.
 func (e *parEngine) fastGrantable(req serReq) bool {
 	if len(e.pending) > 0 || e.grantsInFlight > 0 {
 		return false
 	}
+	minOther := e.minClock
+	if e.minPid == req.pid {
+		minOther = e.minClock2
+	}
+	if minOther > req.t {
+		return true
+	}
+	min, min2 := timeInf, timeInf
+	argmin := -1
+	ok := true
 	for _, q := range e.sim.procs {
-		if q == req.p || q.par.finished {
+		if q.par.finished {
 			continue
 		}
-		if clockOf(q) <= req.t {
-			return false
+		c := clockOf(q)
+		if c < min {
+			min, min2, argmin = c, min, q.id
+		} else if c < min2 {
+			min2 = c
+		}
+		if q != req.p && c <= req.t {
+			ok = false
 		}
 	}
-	return true
+	e.minClock, e.minClock2, e.minPid = min, min2, argmin
+	return ok
 }
 
 // --- the evaluator -----------------------------------------------------
@@ -579,10 +612,10 @@ func (e *parEngine) tryGrant(force bool) bool {
 	if !e.grantable(req) {
 		return false
 	}
-	heap.Pop(&e.pending)
+	e.pending.popReq()
 	pp := &req.p.par
 	pp.kind = parkGranted
-	pp.blockedOn = ""
+	pp.blockedVerb = ""
 	e.running++
 	e.grantsInFlight++
 	e.signal(req.p)
@@ -957,7 +990,7 @@ func (e *parEngine) bindOnSend(c *chanCore, p *Process) {
 	if got := c.sender.Load(); got == nil {
 		c.sender.CompareAndSwap(nil, p)
 	} else if got != p {
-		panic(fmt.Sprintf("des: channel %q has two senders", c.name))
+		panic(fmt.Sprintf("des: channel %q has two senders", c.label()))
 	}
 }
 
@@ -965,7 +998,7 @@ func (e *parEngine) bindOnRecv(c *chanCore, p *Process) {
 	if got := c.recver.Load(); got == nil {
 		c.recver.CompareAndSwap(nil, p)
 	} else if got != p {
-		panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+		panic(fmt.Sprintf("des: channel %q has two receivers", c.label()))
 	}
 }
 
@@ -976,7 +1009,7 @@ func (e *parEngine) sendReserve(c *chanCore, p *Process) int {
 		e.bindOnSend(c, p)
 		if c.closed {
 			c.mu.Unlock()
-			panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+			panic(fmt.Sprintf("des: send on closed channel %q", c.label()))
 		}
 		n := c.nSent + 1
 		if t, ok := c.sendDeadline(n); ok {
@@ -992,7 +1025,7 @@ func (e *parEngine) sendReserve(c *chanCore, p *Process) int {
 		need := c.sendParkedNeed
 		g0 := p.par.snapshotGen()
 		c.mu.Unlock()
-		e.parkProc(p, parkSend, "send "+c.name, func(pp *parProc) {
+		e.parkProc(p, parkSend, "send", c, func(pp *parProc) {
 			pp.parkCh = c
 			pp.parkNeed = need
 		})
@@ -1041,7 +1074,7 @@ func (e *parEngine) recvWait(c *chanCore, p *Process) (int, bool) {
 		c.recvParked = p
 		g0 := p.par.snapshotGen()
 		c.mu.Unlock()
-		e.parkProc(p, parkRecv, "recv "+c.name, func(pp *parProc) {
+		e.parkProc(p, parkRecv, "recv", c, func(pp *parProc) {
 			pp.parkCh = c
 		})
 		e.waitGen(p, g0)
@@ -1064,12 +1097,33 @@ func (e *parEngine) recvRelease(c *chanCore, p *Process) {
 	c.mu.Unlock()
 }
 
+// recvMore is recvRelease plus an opportunistic peek at the next head,
+// in one lock acquisition: when the next element is already visible at
+// the receiver's clock it is handed out without a park round-trip (no
+// clock lift needed — visible means ready <= clock). Timing-identical to
+// recvRelease followed by a recvWait that found the element visible.
+func (e *parEngine) recvMore(c *chanCore, p *Process) (int, bool) {
+	now := clockOf(p)
+	c.mu.Lock()
+	c.pop(now)
+	if w := c.sendParked; w != nil && (c.nRecv >= c.sendParkedNeed || c.closed) {
+		e.signal(w)
+	}
+	if c.count > 0 && c.ready[c.head] <= now {
+		slot := c.head
+		c.mu.Unlock()
+		return slot, true
+	}
+	c.mu.Unlock()
+	return 0, false
+}
+
 func (e *parEngine) closeChan(c *chanCore, p *Process) {
 	e.checkAbort()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		panic(fmt.Sprintf("des: double close of channel %q", c.name))
+		panic(fmt.Sprintf("des: double close of channel %q", c.label()))
 	}
 	c.markClosed(clockOf(p))
 	if w := c.recvParked; w != nil {
@@ -1162,7 +1216,7 @@ func (e *parEngine) selDecision(cores []*chanCore, bounds []Time) (idx int, lift
 			continue
 		}
 		if sn.sender == nil {
-			panic(fmt.Sprintf("des: parallel Select requires a bound sender on channel %q (use BindSender)", cores[j].name))
+			panic(fmt.Sprintf("des: parallel Select requires a bound sender on channel %q (use BindSender)", cores[j].label()))
 		}
 		if sn.senderDone {
 			// A finished sender can never enqueue (nor close) this
@@ -1202,7 +1256,7 @@ func (e *parEngine) sel(p *Process, cores []*chanCore) int {
 		e.stateMu.Lock()
 		pp := &p.par
 		pp.kind = parkSel
-		pp.blockedOn = "select"
+		pp.blockedVerb = "select"
 		pp.parkSels = cores
 		pp.watchT = e.selWatch(cores)
 		e.selParkedList = append(e.selParkedList, p)
@@ -1217,7 +1271,7 @@ func (e *parEngine) sel(p *Process, cores []*chanCore) int {
 		idx, lift, decided := e.selDecision(cores, nil)
 		if decided {
 			pp.kind = parkNone
-			pp.blockedOn = ""
+			pp.blockedVerb = ""
 			pp.parkSels = nil
 			e.dropSelParked(p)
 			e.stateMu.Unlock()
@@ -1265,7 +1319,7 @@ func (e *parEngine) unparkSel(p *Process) {
 	e.stateMu.Lock()
 	pp := &p.par
 	pp.kind = parkNone
-	pp.blockedOn = ""
+	pp.blockedVerb, pp.blockedCh = "", nil
 	pp.parkCh = nil
 	pp.parkSels = nil
 	e.dropSelParked(p)

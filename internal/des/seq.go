@@ -1,8 +1,8 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 )
 
 // procState tracks where a process is in its lifecycle (sequential engine).
@@ -19,11 +19,19 @@ const (
 type seqProc struct {
 	state   procState
 	episode uint64 // wait-episode counter; stale wake events are dropped
+	// resume carries the control token. It is buffered so the handoff
+	// never blocks the granting goroutine: at most one token exists in
+	// the whole simulation (whoever holds it is the only goroutine
+	// touching engine state).
 	resume  chan struct{}
 	aborted bool
 	serSeq  uint64
-	// blockedOn describes what the process is waiting for (diagnostics).
-	blockedOn string
+	// blockedVerb/blockedCh describe what the process is waiting for.
+	// Kept as a static verb plus an optional channel so blocking never
+	// allocates; the human-readable description is materialized only for
+	// deadlock reports.
+	blockedVerb string
+	blockedCh   *chanCore
 }
 
 // event is a scheduled wake-up of a process.
@@ -34,20 +42,59 @@ type event struct {
 	episode uint64
 }
 
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a manual binary min-heap of events. container/heap would
+// box every event into an interface on Push and Pop — two allocations per
+// simulated wake — which profiling showed to be the simulator's single
+// largest allocation source. The manual heap keeps events as values.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) pushEvent(ev event) {
+	hs := append(*h, ev)
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(hs[i], hs[parent]) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = hs
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) popEvent() event {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs[n] = event{} // drop the proc reference
+	hs = hs[:n]
+	*h = hs
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(hs[l], hs[small]) {
+			small = l
+		}
+		if r < n && eventLess(hs[r], hs[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hs[i], hs[small] = hs[small], hs[i]
+		i = small
+	}
+	return top
+}
 
 // serReq is a pending Serialized critical section.
 type serReq struct {
@@ -67,28 +114,79 @@ func serLess(a, b serReq) bool {
 	return a.seq < b.seq
 }
 
+// serHeap is a manual binary min-heap of Serialized requests (value-typed
+// for the same no-boxing reason as eventHeap). Shared by both engines.
 type serHeap []serReq
 
-func (h serHeap) Len() int           { return len(h) }
-func (h serHeap) Less(i, j int) bool { return serLess(h[i], h[j]) }
-func (h serHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *serHeap) Push(x any)        { *h = append(*h, x.(serReq)) }
-func (h *serHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *serHeap) pushReq(r serReq) {
+	hs := append(*h, r)
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !serLess(hs[i], hs[parent]) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
+	}
+	*h = hs
+}
+
+func (h *serHeap) popReq() serReq {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs[n] = serReq{}
+	hs = hs[:n]
+	*h = hs
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && serLess(hs[l], hs[small]) {
+			small = l
+		}
+		if r < n && serLess(hs[r], hs[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		hs[i], hs[small] = hs[small], hs[i]
+		i = small
+	}
+	return top
+}
 
 // seqEngine runs exactly one process at a time, dispatching wake events in
 // (time, sequence) order so simulations are bit-for-bit reproducible
 // regardless of goroutine scheduling.
+//
+// Control moves by direct handoff: the goroutine that finishes a step
+// selects the next event itself and resumes that process directly, so a
+// process switch costs one channel operation instead of a round-trip
+// through a central scheduler goroutine. Exactly one control token exists;
+// whoever holds it (a process goroutine, or run during startup/teardown)
+// is the only goroutine reading or writing engine state, which preserves
+// the one-at-a-time discipline without any locks.
 type seqEngine struct {
-	sim     *Simulation
-	nowT    Time
-	events  eventHeap
-	seq     uint64
-	yielded chan *Process
-	pending serHeap
+	sim      *Simulation
+	nowT     Time
+	events   eventHeap
+	seq      uint64
+	pending  serHeap
+	live     int
+	finish   Time
+	firstErr error
+	aborting bool
+	// done returns control to run (simulation complete, first error, or
+	// deadlock; and once per process during the abort sweep).
+	done chan struct{}
 }
 
 func newSeqEngine(s *Simulation) *seqEngine {
-	return &seqEngine{sim: s, yielded: make(chan *Process)}
+	return &seqEngine{sim: s, done: make(chan struct{})}
 }
 
 func (e *seqEngine) now(p *Process) Time { return e.nowT }
@@ -98,31 +196,78 @@ func (e *seqEngine) schedule(at Time, p *Process, episode uint64) {
 	e.events.pushEvent(event{at: at, seq: e.seq, proc: p, episode: episode})
 }
 
-// yield transfers control back to the scheduler and blocks until resumed.
-func (e *seqEngine) yield(p *Process, why string) {
+// yield transfers control to the next runnable process and blocks until
+// resumed.
+func (e *seqEngine) yield(p *Process, verb string, ch *chanCore) {
 	sp := &p.seq
 	sp.episode++
 	sp.state = stateWaiting
-	sp.blockedOn = why
-	e.yielded <- p
+	sp.blockedVerb, sp.blockedCh = verb, ch
+	e.dispatch()
 	<-sp.resume
 	sp.state = stateRunning
-	sp.blockedOn = ""
+	sp.blockedVerb, sp.blockedCh = "", nil
 	if sp.aborted {
 		panic(errAborted)
 	}
 }
 
+// dispatch hands the control token to the next runnable process, or back
+// to run when nothing can ever progress again. The caller must not touch
+// engine state after dispatch returns (control belongs to someone else).
+func (e *seqEngine) dispatch() {
+	var next *Process
+	haveEv := e.hasValidEventAtOrBefore(timeInf)
+	switch {
+	case haveEv && (len(e.pending) == 0 || e.events[0].at <= e.pending[0].t):
+		ev := e.events.popEvent()
+		if ev.at > e.nowT {
+			e.nowT = ev.at
+		}
+		next = ev.proc
+	case len(e.pending) > 0:
+		r := e.pending.popReq()
+		if r.t > e.nowT {
+			e.nowT = r.t
+		}
+		next = r.p
+	default:
+		// No runnable process: deadlock.
+		if e.firstErr == nil {
+			e.firstErr = e.deadlockError()
+		}
+		e.done <- struct{}{}
+		return
+	}
+	next.seq.resume <- struct{}{}
+}
+
 func (e *seqEngine) advance(p *Process, d Time) {
-	e.schedule(e.nowT+d, p, p.seq.episode+1)
-	e.yield(p, "advance")
+	nt := e.nowT + d
+	// Fast path: when no other wake or critical section is due at or
+	// before the target time, the dispatcher would pick this process's own
+	// wake event next anyway — advance the clock inline and skip the
+	// schedule/yield round-trip entirely. Common whenever the rest of the
+	// pipeline is parked on channels (backpressured or starved), which is
+	// exactly when a lone active stage ticks through its elements.
+	if len(e.pending) == 0 && !e.hasValidEventAtOrBefore(nt) {
+		e.nowT = nt
+		return
+	}
+	e.schedule(nt, p, p.seq.episode+1)
+	e.yield(p, "advance", nil)
 }
 
 func (e *seqEngine) advanceTo(p *Process, t Time) {
-	if t > e.nowT {
-		e.schedule(t, p, p.seq.episode+1)
-		e.yield(p, "advance-to")
+	if t <= e.nowT {
+		return
 	}
+	if len(e.pending) == 0 && !e.hasValidEventAtOrBefore(t) {
+		e.nowT = t
+		return
+	}
+	e.schedule(t, p, p.seq.episode+1)
+	e.yield(p, "advance-to", nil)
 }
 
 func (e *seqEngine) serialized(p *Process, fn func()) {
@@ -137,17 +282,17 @@ func (e *seqEngine) serialized(p *Process, fn func()) {
 		fn()
 		return
 	}
-	heap.Push(&e.pending, serReq{t: e.nowT, pid: p.id, seq: p.seq.serSeq, p: p})
+	e.pending.pushReq(serReq{t: e.nowT, pid: p.id, seq: p.seq.serSeq, p: p})
 	p.seq.serSeq++
-	e.yield(p, "serialized")
+	e.yield(p, "serialized", nil)
 	fn()
 }
 
 // hasValidEventAtOrBefore prunes stale heap tops and reports whether a
-// dispatchable event exists at or before t. Safe to call from a process
-// goroutine: the scheduler is parked in e.yielded while a process runs.
+// dispatchable event exists at or before t. Safe to call from whichever
+// goroutine holds the control token.
 func (e *seqEngine) hasValidEventAtOrBefore(t Time) bool {
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		top := e.events[0]
 		if !e.eventValid(top) {
 			e.events.popEvent()
@@ -168,78 +313,53 @@ func (e *seqEngine) eventValid(ev event) bool {
 	return ev.episode == 0 || ev.episode == sp.episode
 }
 
+// eventSlabPool recycles event-heap backing arrays across simulations: a
+// session creates one Simulation per run and the heap regrows to roughly
+// the same size every time, so the array is the textbook pooling case.
+// Entries are zeroed before Put (they hold process pointers).
+var eventSlabPool = sync.Pool{
+	New: func() any {
+		s := make(eventHeap, 0, 256)
+		return &s
+	},
+}
+
 func (e *seqEngine) run() (Time, error) {
-	heap.Init(&e.events)
+	e.events = *eventSlabPool.Get().(*eventHeap)
+	defer func() {
+		clear(e.events[:cap(e.events)])
+		slab := e.events[:0]
+		eventSlabPool.Put(&slab)
+		e.events = nil
+	}()
 	// Seed: every process starts at time 0 in spawn order.
 	for _, p := range e.sim.procs {
-		p.seq.resume = make(chan struct{})
+		p.seq.resume = make(chan struct{}, 1)
 		e.startProc(p)
 		e.schedule(0, p, 0)
 	}
-	live := len(e.sim.procs)
-	var firstErr error
-	var finish Time
-	for live > 0 {
-		var next *Process
-		haveEv := e.hasValidEventAtOrBefore(timeInf)
-		switch {
-		case haveEv && (len(e.pending) == 0 || e.events[0].at <= e.pending[0].t):
-			ev := e.events.popEvent()
-			if ev.at > e.nowT {
-				e.nowT = ev.at
-			}
-			next = ev.proc
-		case len(e.pending) > 0:
-			r := heap.Pop(&e.pending).(serReq)
-			if r.t > e.nowT {
-				e.nowT = r.t
-			}
-			next = r.p
-		default:
-			// No runnable process: deadlock.
-			firstErr = e.deadlockError()
-		}
-		if next == nil {
-			break
-		}
-		next.seq.resume <- struct{}{}
-		q := <-e.yielded
-		if q.seq.state == stateFinished {
-			live--
-			if e.nowT > finish {
-				finish = e.nowT
-			}
-			if q.err != nil && firstErr == nil {
-				firstErr = procError(q)
-			}
-		}
-		if firstErr != nil {
-			break
-		}
+	e.live = len(e.sim.procs)
+	if e.live == 0 {
+		return 0, nil
 	}
-	// Abort any processes still alive (error or deadlock path).
+	e.dispatch()
+	<-e.done
+	// Abort any processes still alive (error or deadlock path). Control
+	// is back here, so every live process is parked; resume each with the
+	// abort flag set and wait for its finish notification.
+	e.aborting = true
 	for _, p := range e.sim.procs {
 		if p.seq.state == stateFinished {
 			continue
 		}
 		p.seq.aborted = true
 		p.seq.resume <- struct{}{}
-		for {
-			q := <-e.yielded
-			if q == p && q.seq.state == stateFinished {
-				break
-			}
-			if q.seq.state != stateFinished {
-				// It yielded again (shouldn't happen when aborted), resume.
-				q.seq.aborted = true
-				q.seq.resume <- struct{}{}
-			}
-		}
+		<-e.done
 	}
-	if finish < e.nowT {
-		finish = e.nowT
+	if e.finish < e.nowT {
+		e.finish = e.nowT
 	}
-	return finish, firstErr
+	return e.finish, e.firstErr
 }
 
 func (e *seqEngine) startProc(p *Process) {
@@ -248,8 +368,7 @@ func (e *seqEngine) startProc(p *Process) {
 		p.seq.state = stateRunning
 		defer func() {
 			recoverAsError(p, recover())
-			p.seq.state = stateFinished
-			e.yielded <- p
+			e.finishProc(p)
 		}()
 		if p.seq.aborted {
 			panic(errAborted)
@@ -258,11 +377,30 @@ func (e *seqEngine) startProc(p *Process) {
 	}()
 }
 
+// finishProc retires a process and passes control on: to run when the
+// simulation is over (or aborting, or this process failed), otherwise to
+// the next runnable process.
+func (e *seqEngine) finishProc(p *Process) {
+	p.seq.state = stateFinished
+	e.live--
+	if e.nowT > e.finish {
+		e.finish = e.nowT
+	}
+	if p.err != nil && e.firstErr == nil {
+		e.firstErr = procError(p)
+	}
+	if e.aborting || e.firstErr != nil || e.live == 0 {
+		e.done <- struct{}{}
+		return
+	}
+	e.dispatch()
+}
+
 func (e *seqEngine) deadlockError() error {
 	var stuck []string
 	for _, p := range e.sim.procs {
 		if p.seq.state != stateFinished {
-			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.seq.blockedOn))
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.Name(), blockedDesc(p.seq.blockedVerb, p.seq.blockedCh)))
 		}
 	}
 	return deadlockError(e.nowT, stuck)
@@ -272,17 +410,17 @@ func (e *seqEngine) deadlockError() error {
 
 func (e *seqEngine) sendReserve(c *chanCore, p *Process) int {
 	if c.closed {
-		panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+		panic(fmt.Sprintf("des: send on closed channel %q", c.label()))
 	}
 	for c.count >= c.cap {
 		if c.seqSendWaiter != nil && c.seqSendWaiter != p {
-			panic(fmt.Sprintf("des: channel %q has two senders", c.name))
+			panic(fmt.Sprintf("des: channel %q has two senders", c.label()))
 		}
 		c.seqSendWaiter = p
-		e.yield(p, "send "+c.name)
+		e.yield(p, "send", c)
 		c.seqSendWaiter = nil
 		if c.closed {
-			panic(fmt.Sprintf("des: send on closed channel %q", c.name))
+			panic(fmt.Sprintf("des: send on closed channel %q", c.label()))
 		}
 	}
 	return c.tail()
@@ -302,7 +440,7 @@ func (e *seqEngine) recvWait(c *chanCore, p *Process) (int, bool) {
 			if ready := c.ready[c.head]; ready > e.nowT {
 				// Sleep until the head becomes visible.
 				e.schedule(ready, p, p.seq.episode+1)
-				e.yield(p, "recv-latency "+c.name)
+				e.yield(p, "recv-latency", c)
 				continue
 			}
 			return c.head, true
@@ -311,10 +449,10 @@ func (e *seqEngine) recvWait(c *chanCore, p *Process) (int, bool) {
 			return 0, false
 		}
 		if c.seqRecvWaiter != nil && c.seqRecvWaiter != p {
-			panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+			panic(fmt.Sprintf("des: channel %q has two receivers", c.label()))
 		}
 		c.seqRecvWaiter = p
-		e.yield(p, "recv "+c.name)
+		e.yield(p, "recv", c)
 		c.seqRecvWaiter = nil
 	}
 }
@@ -326,9 +464,21 @@ func (e *seqEngine) recvRelease(c *chanCore, p *Process) {
 	}
 }
 
+// recvMore releases the previously returned slot and, when the next head
+// element is already visible, hands it out in the same step — the bulk
+// dequeue primitive behind Chan.RecvUntil. Timing is identical to a
+// recvRelease followed by a recvWait that found the element visible.
+func (e *seqEngine) recvMore(c *chanCore, p *Process) (int, bool) {
+	e.recvRelease(c, p)
+	if c.count > 0 && c.ready[c.head] <= e.nowT {
+		return c.head, true
+	}
+	return 0, false
+}
+
 func (e *seqEngine) closeChan(c *chanCore, p *Process) {
 	if c.closed {
-		panic(fmt.Sprintf("des: double close of channel %q", c.name))
+		panic(fmt.Sprintf("des: double close of channel %q", c.label()))
 	}
 	c.markClosed(e.nowT)
 	if w := c.seqRecvWaiter; w != nil {
@@ -344,7 +494,7 @@ func (e *seqEngine) closeChan(c *chanCore, p *Process) {
 
 func (e *seqEngine) setSelWaiter(c *chanCore, p *Process) {
 	if c.seqRecvWaiter != nil && c.seqRecvWaiter != p {
-		panic(fmt.Sprintf("des: channel %q has two receivers", c.name))
+		panic(fmt.Sprintf("des: channel %q has two receivers", c.label()))
 	}
 	c.seqRecvWaiter = p
 }
@@ -380,7 +530,7 @@ func (e *seqEngine) sel(p *Process, cores []*chanCore) int {
 					e.setSelWaiter(c, p)
 				}
 				e.schedule(bestAt, p, p.seq.episode+1)
-				e.yield(p, "select-latency")
+				e.yield(p, "select-latency", nil)
 				for _, c := range cores {
 					e.clearSelWaiter(c, p)
 				}
@@ -395,7 +545,7 @@ func (e *seqEngine) sel(p *Process, cores []*chanCore) int {
 		for _, c := range cores {
 			e.setSelWaiter(c, p)
 		}
-		e.yield(p, "select")
+		e.yield(p, "select", nil)
 		for _, c := range cores {
 			e.clearSelWaiter(c, p)
 		}

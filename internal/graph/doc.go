@@ -1,0 +1,43 @@
+// Package graph represents STeP programs as dataflow graphs: nodes are
+// operators, edges are streams. The builder verifies stream-shape
+// alignment between producers and consumers at construction time (the
+// paper's symbolic frontend does the same, §4.1), and the executor maps
+// every node onto a discrete-event process communicating over bounded
+// channels, mirroring how SDAs map dataflow graphs onto compute/memory
+// units connected by hardware FIFOs (§2.2).
+//
+// # Execution lifecycle
+//
+// A Graph owns its operator instances; engine state (the DES simulation,
+// channels, machine model, counters) is rebuilt for every run. One graph
+// may therefore be run repeatedly, but not concurrently with itself —
+// Run returns ErrAlreadyBound on overlap. Compile a graph into a Program
+// for concurrency-safe repeated runs: each Program.Run instantiates a
+// fresh graph from the IR.
+//
+// Determinism: with the default channel latency (>= 1) a graph produces
+// identical Results under the sequential and the conservative-parallel
+// DES engine at any worker count (Config.SimWorkers). The experiment
+// harness and scenario sweeps rely on this to certify byte-identical
+// tables across the engine matrix.
+//
+// # The run arena
+//
+// The executor carves every stream channel's ring storage (ready and
+// dequeue timestamps plus element slots) for a run out of one pooled
+// slab instead of allocating per channel. Recycling rules:
+//
+//   - The slab is released back to the pool only after the simulation
+//     has fully finished — des.Sim.Run returns only once every process
+//     goroutine has exited — so no operator can still hold a channel
+//     that indexes it.
+//   - The arena recycles ring storage only, never the data flowing
+//     through it: elements reference tile buffers owned by operators
+//     and the memory model, and the element slots are cleared before
+//     the slab is pooled so a recycled slab cannot keep tile memory
+//     reachable.
+//
+// Run-wide statistics (element and stop-token counts) are plain atomic
+// counters; operators may add to them in bulk because the totals are
+// order-free.
+package graph

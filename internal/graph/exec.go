@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"step/internal/des"
 	"step/internal/element"
@@ -106,6 +107,39 @@ var ErrAlreadyBound = errors.New("graph: already running (concurrent Graph.Run o
 // repeatedly with well-defined semantics.
 type resettable interface{ ResetRunState() }
 
+// ringSlab is the per-run channel arena: the ring metadata (ready +
+// dequeue times) and value storage for every stream channel of a run,
+// carved from two slices and recycled through ringSlabPool. The slab may
+// only be recycled after the simulation has fully finished — every process
+// goroutine has exited — which run guarantees before releasing it.
+type ringSlab struct {
+	times []des.Time
+	vals  []element.Element
+}
+
+var ringSlabPool = sync.Pool{New: func() any { return &ringSlab{} }}
+
+// acquireRingSlab returns a slab with room for totalDepth channel slots.
+func acquireRingSlab(totalDepth int) *ringSlab {
+	s := ringSlabPool.Get().(*ringSlab)
+	if cap(s.times) < 2*totalDepth {
+		s.times = make([]des.Time, 2*totalDepth)
+	}
+	if cap(s.vals) < totalDepth {
+		s.vals = make([]element.Element, totalDepth)
+	}
+	s.times = s.times[:2*totalDepth]
+	s.vals = s.vals[:totalDepth]
+	return s
+}
+
+// releaseRingSlab clears the value storage (elements reference tile
+// buffers; a pooled slab must not keep them live) and recycles the slab.
+func releaseRingSlab(s *ringSlab) {
+	clear(s.vals[:cap(s.vals)])
+	ringSlabPool.Put(s)
+}
+
 // Run validates the graph, maps every node to a DES process and every
 // stream to a bounded channel, and executes to completion.
 //
@@ -161,18 +195,41 @@ func (g *Graph) run(cfg Config) (Result, error) {
 	}
 	counters := &Counters{}
 
-	chans := make(map[*Stream]*Chan, len(g.streams))
-	for _, s := range g.streams {
-		depth := cfg.ChannelDepth
+	// Channel depths are known up front, so every channel's ring storage is
+	// carved out of one pooled slab instead of three allocations per stream.
+	// The slab is released after the simulation has fully finished (all
+	// process goroutines joined inside sim.Run).
+	streamDepth := func(s *Stream) int {
 		if s.depth > 0 {
-			depth = s.depth
+			return s.depth
 		}
+		return cfg.ChannelDepth
+	}
+	totalDepth := 0
+	for _, s := range g.streams {
+		totalDepth += streamDepth(s)
+	}
+	slab := acquireRingSlab(totalDepth)
+	defer releaseRingSlab(slab)
+
+	chans := make(map[*Stream]*Chan, len(g.streams))
+	off := 0
+	for _, s := range g.streams {
+		s := s
+		depth := streamDepth(s)
 		lat := cfg.ChannelLatency
 		if s.latency >= 0 {
 			lat = des.Time(s.latency)
 		}
-		name := fmt.Sprintf("s%d:%s->%s", s.id, producerName(s), consumerName(s))
-		chans[s] = des.NewChan[element.Element](sim, name, depth, lat)
+		// Names are formatted only if a diagnostic (deadlock report, channel
+		// misuse panic) needs them.
+		nameFn := func() string {
+			return fmt.Sprintf("s%d:%s->%s", s.id, producerName(s), consumerName(s))
+		}
+		chans[s] = des.NewChanOn(sim, nameFn, depth, lat,
+			slab.times[2*off:2*off+depth], slab.times[2*off+depth:2*off+2*depth],
+			slab.vals[off:off+depth])
+		off += depth
 	}
 	procs := make(map[*Node]*des.Process, len(g.nodes))
 	for _, n := range g.nodes {
@@ -184,7 +241,9 @@ func (g *Graph) run(cfg Config) (Result, error) {
 		for _, out := range node.Outputs {
 			ctx.Out = append(ctx.Out, chans[out])
 		}
-		procs[node] = sim.Spawn(fmt.Sprintf("n%d:%s", node.ID, node.Op.Name()), func(p *des.Process) error {
+		procs[node] = sim.SpawnFn(func() string {
+			return fmt.Sprintf("n%d:%s", node.ID, node.Op.Name())
+		}, func(p *des.Process) error {
 			ctx.P = p
 			return node.Op.Run(ctx)
 		})

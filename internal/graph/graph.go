@@ -1,10 +1,3 @@
-// Package graph represents STeP programs as dataflow graphs: nodes are
-// operators, edges are streams. The builder verifies stream-shape
-// alignment between producers and consumers at construction time (the
-// paper's symbolic frontend does the same, §4.1), and the executor maps
-// every node onto a discrete-event process communicating over bounded
-// channels, mirroring how SDAs map dataflow graphs onto compute/memory
-// units connected by hardware FIFOs (§2.2).
 package graph
 
 import (
@@ -289,8 +282,16 @@ func (c *Counters) AddFLOPs(n int64) { atomic.AddInt64(&c.FLOPs, n) }
 // AddDataElem counts one data element moved.
 func (c *Counters) AddDataElem() { atomic.AddInt64(&c.DataElems, 1) }
 
+// AddDataElems counts n data elements moved at once; bulk dequeue loops
+// use it so the hot path pays one atomic per batch instead of one per
+// element (the final sums are identical either way).
+func (c *Counters) AddDataElems(n int64) { atomic.AddInt64(&c.DataElems, n) }
+
 // AddStopToken counts one stop token moved.
 func (c *Counters) AddStopToken() { atomic.AddInt64(&c.StopTokens, 1) }
+
+// AddStopTokens counts n stop tokens moved at once.
+func (c *Counters) AddStopTokens(n int64) { atomic.AddInt64(&c.StopTokens, n) }
 
 // AddPaddedElem counts one padding element introduced.
 func (c *Counters) AddPaddedElem() { atomic.AddInt64(&c.PaddedElems, 1) }

@@ -1,0 +1,24 @@
+// Package harness holds the experiment-running substrate shared by the
+// paper's artifact registry (internal/experiments) and the declarative
+// scenario subsystem (internal/scenario): the rendered Table type, the
+// Suite configuration, and the bounded worker pool that fans independent
+// sweep points out across CPUs.
+//
+// Invariants:
+//
+//   - Determinism: rendered tables are byte-identical at any
+//     Suite.Workers setting and under either DES engine selected by
+//     Suite.SimWorkers. ParMap writes each point's result into its own
+//     index, so output order never depends on completion order; worker
+//     counts may change wall time only.
+//   - Bounded concurrency at any depth: nested sweeps share one
+//     worker-token pool (Suite.EnsurePool), so total concurrency stays
+//     capped by Workers no matter how sweeps compose — and a sweep
+//     point always runs on the goroutine that holds its token, never
+//     on a hidden queue.
+//   - First error wins, cancellation is bounded: ParMap returns the
+//     first point error; points already in flight (each a
+//     self-contained DES simulation) run to completion, so failure and
+//     cancellation latency are bounded by one simulation, not the
+//     sweep.
+package harness

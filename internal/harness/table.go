@@ -1,9 +1,3 @@
-// Package harness holds the experiment-running substrate shared by the
-// paper's artifact registry (internal/experiments) and the declarative
-// scenario subsystem (internal/scenario): the rendered Table type, the
-// Suite configuration, and the bounded worker pool that fans independent
-// sweep points out across CPUs while keeping results byte-identical at
-// any worker count.
 package harness
 
 import (

@@ -87,28 +87,44 @@ func readSubtree(ctx *graph.Ctx, i, r int) (subtree, bool, error) {
 			return st, true, nil
 		}
 	}
-	for {
-		e, ok := recvTracked(ctx, i)
-		if !ok {
-			return st, false, fmt.Errorf("input %d closed without Done token", i)
-		}
+	// The drain loop never advances time between elements, which is exactly
+	// the shape RecvUntil accelerates: consecutive already-visible elements
+	// are dequeued without a scheduler round-trip each, with a virtual-time
+	// trace identical to per-element Recv. Counters are summed locally and
+	// added in bulk (order-free, so the totals match the per-element path).
+	var data, stops int64
+	chanOK := ctx.In[i].RecvUntil(ctx.P, func(e element.Element) bool {
 		switch e.Kind {
 		case element.Done:
 			st.closer = e
-			if len(st.body) == 0 {
-				return st, false, nil
-			}
-			return st, true, nil
+			return false
 		case element.Stop:
+			stops++
 			if e.Level >= r {
 				st.closer = e
-				return st, true, nil
+				return false
 			}
 			st.body = append(st.body, e)
+			return true
 		default:
+			data++
 			st.body = append(st.body, e)
+			return true
 		}
+	})
+	if data > 0 {
+		ctx.Counters.AddDataElems(data)
 	}
+	if stops > 0 {
+		ctx.Counters.AddStopTokens(stops)
+	}
+	if !chanOK {
+		return st, false, fmt.Errorf("input %d closed without Done token", i)
+	}
+	if st.closer.Kind == element.Done && len(st.body) == 0 {
+		return st, false, nil
+	}
+	return st, true, nil
 }
 
 // sendAll writes a sequence of elements to output o, one tick each.

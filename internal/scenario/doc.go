@@ -1,0 +1,32 @@
+// Package scenario turns experiment campaigns into data: a Spec (Go
+// struct with a JSON file format) declares a model (built-in by name or
+// fully inline), a workload kind, and sweep axes, and Run compiles the
+// resulting grid onto the existing workload entry points
+// (BuildMoELayer, BuildAttention, RunDecoder), fanning the points out
+// through the shared harness worker pool and rendering the same Table
+// type the paper artifacts use.
+//
+// The paper's pure-sweep figures (9, 10, 15, 19, 20) are re-registered
+// as canned specs (see builtin.go), so the declarative path and the
+// artifact registry share one implementation; beyond-the-paper families
+// (GQA-ratio, long-context decode, mixed serving) ship as canned specs
+// and as committed JSON examples under examples/specs/.
+//
+// Invariants the rest of the system builds on:
+//
+//   - Determinism: a spec's rendered table is byte-identical at any
+//     harness worker count and under either DES engine. Specs may
+//     declare a WorkersAxis x SimWorkersAxis matrix; Run then executes
+//     the sweep once per setting and fails unless all renderings match,
+//     turning the guarantee into a declarative check.
+//   - Canonical identity: Canonicalize and CanonicalJSON produce a
+//     normalized, stable serialization of a spec — defaults filled,
+//     fields ordered deterministically — and those bytes are the only
+//     spec-derived input to the result-cache key (internal/store). Two
+//     specs with equal canonical bytes must simulate identically;
+//     anything that changes rendered output must change the canonical
+//     form.
+//   - Specs are plain values: Run does not mutate its Spec argument, so
+//     a spec loaded once may be submitted concurrently (the service
+//     layer relies on this).
+package scenario

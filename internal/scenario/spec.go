@@ -1,16 +1,3 @@
-// Package scenario turns experiment campaigns into data: a Spec (Go
-// struct with a JSON file format) declares a model (built-in by name or
-// fully inline), a workload kind, and sweep axes, and Run compiles the
-// resulting grid onto the existing workload entry points
-// (BuildMoELayer, BuildAttention, RunDecoder), fanning the points out
-// through the shared harness worker pool and rendering the same Table
-// type the paper artifacts use.
-//
-// The paper's pure-sweep figures (9, 10, 15, 19, 20) are re-registered
-// as canned specs (see builtin.go), so the declarative path and the
-// artifact registry share one implementation; beyond-the-paper families
-// (GQA-ratio, long-context decode, mixed serving) ship as canned specs
-// and as committed JSON examples under examples/specs/.
 package scenario
 
 import (

@@ -1,0 +1,27 @@
+// Package service turns scenario sweeps into addressable jobs: a
+// bounded queue of executors runs submitted specs on one shared
+// harness worker pool, results land in a content-addressed store
+// (internal/store), and repeated submissions of a semantically-equal
+// spec are served from the cache without re-simulation. The HTTP
+// surface over the same queue lives in http.go; `stepctl serve` and
+// `stepctl sweep -cache` are thin wrappers.
+//
+// Job lifecycle: queued -> running -> done | failed | canceled, or
+// queued -> cached when the store (or a concurrent job computing the
+// same key) already holds the result. Submissions of a key that is
+// already in flight do not re-simulate: they wait for the running job
+// and read its stored result (single-flight).
+//
+// Invariants:
+//
+//   - One worker pool: every executor draws simulation parallelism
+//     from the same bounded harness pool, so total CPU use stays
+//     capped regardless of how many jobs run concurrently.
+//   - Cache soundness rests on the scenario package's determinism
+//     guarantee — equal canonical spec bytes (plus seed and quick
+//     mode) imply byte-identical tables — so serving a stored result
+//     is indistinguishable from re-simulating.
+//   - Jobs are immutable once terminal: a job that reached done,
+//     failed, canceled, or cached never changes state again, and its
+//     result bytes are never rewritten.
+package service

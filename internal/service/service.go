@@ -1,16 +1,3 @@
-// Package service turns scenario sweeps into addressable jobs: a
-// bounded queue of executors runs submitted specs on one shared
-// harness worker pool, results land in a content-addressed store
-// (internal/store), and repeated submissions of a semantically-equal
-// spec are served from the cache without re-simulation. The HTTP
-// surface over the same queue lives in http.go; `stepctl serve` and
-// `stepctl sweep -cache` are thin wrappers.
-//
-// Job lifecycle: queued -> running -> done | failed | canceled, or
-// queued -> cached when the store (or a concurrent job computing the
-// same key) already holds the result. Submissions of a key that is
-// already in flight do not re-simulate: they wait for the running job
-// and read its stored result (single-flight).
 package service
 
 import (

@@ -1,0 +1,27 @@
+// Package store is a content-addressed result cache for scenario
+// sweeps. Results are keyed by the SHA-256 of the spec's canonical
+// serialization combined with the execution parameters that change
+// rendered bytes (seed and quick mode — worker counts are excluded
+// because tables are byte-identical at any worker count, which is what
+// makes caching sound at all).
+//
+// Layout on disk, under the store directory (default .step-cache):
+//
+//	<key>/table.txt      rendered console table (Table.String bytes)
+//	<key>/table.csv      RFC 4180 CSV (Table.CSV bytes)
+//	<key>/manifest.json  canonical spec, seed/quick, git describe, timings
+//
+// Invariants:
+//
+//   - Atomic publication: entries are written to a temp directory and
+//     renamed into place, so readers never observe a partial entry.
+//   - First writer wins: concurrent writers of the same key converge
+//     on one directory; later writers discard their identical copy
+//     (sound because equal keys imply equal bytes).
+//   - Entries are immutable once published; eviction removes whole
+//     directories, never rewrites them.
+//
+// A bounded in-memory LRU fronts the disk so a hot spec served
+// repeatedly does not re-read three files per request. All methods are
+// safe for concurrent use.
+package store

@@ -1,22 +1,3 @@
-// Package store is a content-addressed result cache for scenario
-// sweeps. Results are keyed by the SHA-256 of the spec's canonical
-// serialization combined with the execution parameters that change
-// rendered bytes (seed and quick mode — worker counts are excluded
-// because tables are byte-identical at any worker count, which is what
-// makes caching sound at all).
-//
-// Layout on disk, under the store directory (default .step-cache):
-//
-//	<key>/table.txt      rendered console table (Table.String bytes)
-//	<key>/table.csv      RFC 4180 CSV (Table.CSV bytes)
-//	<key>/manifest.json  canonical spec, seed/quick, git describe, timings
-//
-// Entries are written to a temp directory and renamed into place, so
-// readers never observe a partial entry and concurrent writers of the
-// same key converge on one directory (first writer wins; later writers
-// discard their identical copy). A bounded in-memory LRU fronts the
-// disk so a hot spec served repeatedly does not re-read three files per
-// request. All methods are safe for concurrent use.
 package store
 
 import (
