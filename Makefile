@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json sweep-smoke serve-smoke examples-smoke cover check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke examples-smoke cover check
 
 all: check
 
@@ -45,6 +45,15 @@ bench-smoke:
 	@cat bench-smoke.out
 	$(GO) run ./cmd/benchjson -compare BENCH_core.json < bench-smoke.out
 	@rm -f bench-smoke.out
+	$(GO) test -run TestSchedStatsGate -v .
+
+# bench-sched profiles the scheduler's coordination cost: the engine
+# comparison matrix under a CPU profile, so `go tool pprof sched.pprof`
+# shows where wake-up/grant time goes after a scheduler change.
+bench-sched:
+	$(GO) test -bench=BenchmarkEngineCompare -benchmem -run='^$$' \
+		-cpuprofile=sched.pprof -o step-bench.test .
+	@echo "profile written to sched.pprof (inspect with: $(GO) tool pprof step-bench.test sched.pprof)"
 
 # bench-json runs the bench smoke suite (figure benchmarks plus the
 # sequential-vs-parallel DES engine comparison) and renders BENCH_core.json

@@ -11,6 +11,10 @@
 // >20% ns/op growth only warns, because wall time does not transfer across
 // machines — pass -strict to fail on time regressions too (for like-for-
 // like hardware).
+//
+// With -speedups <report.json> it renders the report's engine_speedups as
+// a per-workload scaling table (what PERFORMANCE.md embeds), flagging
+// reports recorded on fewer CPUs than the widest sim-workers variant.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Bench is one benchmark measurement.
@@ -56,7 +61,16 @@ func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	compare := flag.String("compare", "", "baseline report to gate against (fails on >20% allocs/op growth)")
 	strict := flag.Bool("strict", false, "with -compare: fail on ns/op regressions too (like-for-like hardware only)")
+	speedups := flag.String("speedups", "", "render a report's engine speedups as a table and exit (no stdin)")
 	flag.Parse()
+
+	if *speedups != "" {
+		if err := printSpeedups(*speedups); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := Report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(os.Stdin)
@@ -149,6 +163,14 @@ func compareReports(path string, cur Report, strict bool) error {
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
+	// A baseline recorded on fewer CPUs than the widest parallel variant
+	// cannot show scaling: every sim-workers>num_cpu measurement is the
+	// coordination overhead of multiplexing workers onto too few cores.
+	// Say so explicitly instead of letting the numbers mislead.
+	if maxW := maxSimWorkers(cur.Speedups); base.NumCPU > 0 && base.NumCPU < maxW {
+		fmt.Printf("note      baseline num_cpu=%d < max sim-workers=%d: parallel variants measure coordination overhead, not scaling\n",
+			base.NumCPU, maxW)
+	}
 	var failures, warnings []string
 	shared := 0
 	for _, c := range cur.Benchmarks {
@@ -187,6 +209,56 @@ func compareReports(path string, cur Report, strict bool) error {
 		shared, path, base.NumCPU, cur.NumCPU, len(failures), len(warnings))
 	if len(failures) > 0 {
 		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%%", len(failures), (regressionTolerance-1)*100)
+	}
+	return nil
+}
+
+// maxSimWorkers returns the widest parallel variant in a speedup set.
+func maxSimWorkers(sps []Speedup) int {
+	max := 0
+	for _, s := range sps {
+		if s.ParWorkers > max {
+			max = s.ParWorkers
+		}
+	}
+	return max
+}
+
+// printSpeedups renders a report's engine_speedups as the per-workload
+// scaling table PERFORMANCE.md embeds, replacing the ad-hoc scripting
+// that used to post-process the JSON.
+func printSpeedups(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rep.Speedups) == 0 {
+		return fmt.Errorf("%s has no engine_speedups (regenerate with `make bench-json`)", path)
+	}
+	fmt.Printf("engine scaling from %s (%s/%s, num_cpu=%d):\n\n", path, rep.GOOS, rep.GOARCH, rep.NumCPU)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tsim-workers\tseq ms/op\tpar ms/op\tspeedup")
+	prev := ""
+	for _, s := range rep.Speedups {
+		name := s.Workload
+		if name == prev {
+			name = ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.2fx\n",
+			name, s.ParWorkers, s.SeqNsPerOp/1e6, s.ParNsPerOp/1e6, s.Speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if maxW := maxSimWorkers(rep.Speedups); rep.NumCPU > 0 && rep.NumCPU < maxW {
+		fmt.Printf("\nnote: recorded with num_cpu=%d < max sim-workers=%d — parallel variants measure coordination overhead, not scaling.\n",
+			rep.NumCPU, maxW)
 	}
 	return nil
 }

@@ -365,9 +365,22 @@ func exp(args []string) error {
 		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel (identical results)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (post-run, post-GC) to this file")
+		schedStats = fs.Bool("schedstats", false, "print aggregated DES scheduler-contention counters after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *schedStats {
+		col := &step.SchedCollector{}
+		step.SetSchedCollector(col)
+		defer func() {
+			step.SetSchedCollector(nil)
+			s, runs := col.Snapshot()
+			fmt.Printf("sched stats over %d simulation runs (parallel engine only):\n", runs)
+			fmt.Printf("  lifts=%d lift-fastpath=%d (%.1f%%) kicks=%d scanned=%d woken=%d grants=%d grant-fastpath=%d scanned/lift=%.3f\n",
+				s.Lifts, s.LiftFastPath, 100*safeFrac(s.LiftFastPath, s.Lifts),
+				s.Kicks, s.Scanned, s.Woken, s.Grants, s.GrantFastPath, s.ScannedPerLift())
+		}()
 	}
 	runners := experiments.All()
 	if *fig != "" {
@@ -393,6 +406,14 @@ func exp(args []string) error {
 		}
 		return nil
 	})
+}
+
+// safeFrac returns a/b as a float, 0 when b is 0.
+func safeFrac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }
 
 func demo() error {

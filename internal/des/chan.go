@@ -205,7 +205,16 @@ func (c *Chan[T]) Sent() int64 { return c.core.nSent }
 // parallel engine requires the binding on any channel used by Select (the
 // sender's local clock is the channel's conservative time frontier); the
 // sequential engine uses it only for earlier misuse diagnostics.
-func (c *Chan[T]) BindSender(p *Process) *Chan[T] { c.core.sender.Store(p); return c }
+func (c *Chan[T]) BindSender(p *Process) *Chan[T] {
+	c.core.sender.Store(p)
+	// The parallel engine's sharded Select triggers walk a sender's
+	// output channels; register the edge at bind time so the hot path
+	// never has to. The sequential engine needs no registry.
+	if pe, ok := p.sim.eng.(*parEngine); ok {
+		pe.registerOut(&c.core, p)
+	}
+	return c
+}
 
 // BindRecver declares p as the channel's only receiving process.
 func (c *Chan[T]) BindRecver(p *Process) *Chan[T] { c.core.recver.Store(p); return c }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Time is the virtual clock, in cycles.
@@ -97,6 +98,10 @@ type engine interface {
 	recvMore(c *chanCore, p *Process) (int, bool)
 	closeChan(c *chanCore, p *Process)
 	sel(p *Process, cores []*chanCore) int
+
+	// schedStats reports the engine's scheduler-contention counters for
+	// the completed run (all zeroes for the sequential engine).
+	schedStats() SchedStats
 }
 
 // Simulation owns the processes and the engine executing them.
@@ -174,6 +179,12 @@ func (s *Simulation) Run() (Time, error) {
 	return finish, err
 }
 
+// SchedStats returns the engine's scheduler-contention counters for the
+// completed run. The sequential engine has no wake-up machinery and
+// reports all zeroes; the parallel engine fills the counters when Run
+// returns. See SchedStats for the glossary.
+func (s *Simulation) SchedStats() SchedStats { return s.eng.schedStats() }
+
 // Now returns the final virtual time after Run (and, for the sequential
 // engine, the scheduler's current time during a run).
 func (s *Simulation) Now() Time {
@@ -183,22 +194,70 @@ func (s *Simulation) Now() Time {
 	return s.finish
 }
 
-// deadlockError formats the canonical deadlock report from the blocked
-// processes' diagnostic descriptions.
-func deadlockError(at Time, blocked []string) error {
-	sort.Strings(blocked)
-	return fmt.Errorf("des: deadlock at t=%d; blocked processes: %v", at, blocked)
+// blockedRef is one blocked process in a deadlock report: its name plus
+// the verb and resource it waits on. Blocking records only a static verb
+// and channel pointers; refs — and their strings — are materialized only
+// once deadlock is certain, never on the block/unblock hot path.
+type blockedRef struct {
+	name string
+	verb string // "recv", "send", "select", "serialized", ...
+	on   string // waited-on resource label; "" when not channel-shaped
 }
 
-// blockedDesc materializes a process's blocked-on description for a
-// deadlock report. Blocking records only a static verb plus an optional
-// channel pointer, so the description string is built here, lazily, and
-// never on the block/unblock hot path.
-func blockedDesc(verb string, ch *chanCore) string {
-	if ch != nil {
-		return verb + " " + ch.label()
+// selectLabel names the channel set a Select waits on, for grouping
+// deadlock reports. Diagnostics-only.
+func selectLabel(cores []*chanCore) string {
+	var b strings.Builder
+	b.WriteString("select(")
+	for i, c := range cores {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.label())
 	}
-	return verb
+	b.WriteString(")")
+	return b.String()
+}
+
+// deadlockError formats the canonical deadlock report, grouping the
+// blocked processes by the resource they wait on: every process stuck on
+// one channel appears under that channel's heading, which is usually the
+// fastest way to see which endpoint of a cycle never delivered.
+func deadlockError(at Time, refs []blockedRef) error {
+	type group struct {
+		key     string
+		members []string
+	}
+	byKey := map[string]int{}
+	var groups []group
+	for _, r := range refs {
+		key := r.on
+		member := r.name
+		if key == "" {
+			key = r.verb
+		} else if r.verb != "" {
+			member = r.name + " (" + r.verb + ")"
+		}
+		i, ok := byKey[key]
+		if !ok {
+			i = len(groups)
+			byKey[key] = i
+			groups = append(groups, group{key: key})
+		}
+		groups[i].members = append(groups[i].members, member)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	var b strings.Builder
+	fmt.Fprintf(&b, "des: deadlock at t=%d; blocked on: ", at)
+	for i := range groups {
+		g := &groups[i]
+		sort.Strings(g.members)
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %v", g.key, g.members)
+	}
+	return errors.New(b.String())
 }
 
 // procError wraps a process's own failure.

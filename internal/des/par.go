@@ -32,26 +32,54 @@ type parProc struct {
 	procMu  sync.Mutex
 	cond    *sync.Cond
 	wakeGen uint64
+	// waiting/resumePending (procMu) are the exact wake-charge protocol:
+	// a signal to a waiting process charges the engine's in-flight counter
+	// once per park episode, and the process discharges it when it rejoins
+	// the running set. The scheduler thereby knows precisely whether any
+	// wake is still in flight, without scanning anyone.
+	waiting       bool
+	resumePending bool
+
+	// selWatch is this process's sender-side Select trigger: the lowest
+	// clock value beyond which some Select parked on one of its output
+	// channels could become committable. Armed (lowered) by parking
+	// selectors, consumed and re-armed by senderCrossed. timeInf = none.
+	selWatch atomic.Uint64
+	// watchTA is this process's receiver-side threshold while parked in
+	// Select: the earliest visibility time among already-queued heads
+	// (the time its commit is waiting to protect). Read lock-free by
+	// senders walking a channel's parked-selector list. timeInf = none.
+	watchTA atomic.Uint64
 
 	// Guarded by parEngine.stateMu.
 	kind          parkKind
 	parkCh        *chanCore   // parkRecv / parkSend
 	parkSels      []*chanCore // parkSel
 	parkNeed      int64       // parkSend: the nRecv count being waited for
-	watchT        Time        // parkSel: frontier threshold blocking a commit
 	reqT          Time        // parkReq: request time
 	reqSeq        uint64      // parkReq: per-process request index
-	selDecided    bool        // cached Select decision for one kick
-	selDecidedVer uint64      // kick version the cache belongs to
+	selDecided    bool        // cached Select decision for one evaluation pass
+	selDecidedVer uint64      // evaluation version the cache belongs to
 	finished      bool        // guarded by stateMu; finishedA mirrors it lock-free
 	finishedA     atomic.Bool
 	finishClock   Time
+	runIdx        int // index in parEngine.runningList; -1 when parked
 	// blockedVerb/blockedCh describe the block for deadlock reports;
-	// the string is materialized lazily via blockedDesc.
+	// the string is materialized lazily via the report formatter.
 	blockedVerb string
 	blockedCh   *chanCore
 
 	serSeq uint64 // owned by the process goroutine
+
+	// outChans are the channels this process sends on; written at bind
+	// time (BindSender / first send) and read only by the owning
+	// goroutine's trigger walks, so no lock is needed.
+	outChans []*chanCore
+
+	// Per-process scheduler counters, written only by the owning
+	// goroutine and aggregated after the run.
+	stLifts    uint64
+	stLiftFast uint64
 }
 
 func (pp *parProc) snapshotGen() uint64 {
@@ -62,53 +90,63 @@ func (pp *parProc) snapshotGen() uint64 {
 }
 
 // parEngine is the DAM-style conservative parallel engine: one goroutine
-// per process, per-channel mutex/condvar synchronization, and a global
-// evaluator (kick) that computes conservative next-action bounds to order
-// Serialized critical sections, commit Selects, and detect deadlock.
+// per process, per-channel mutex/condvar synchronization, and wake-up
+// machinery sharded by endpoint — a send/recv/close examines only that
+// channel's waiters, a clock lift only the thresholds armed against it.
+// The global stateMu guards only what is genuinely global: the explicit
+// running set, the Serialized grant order, and deadlock detection.
 type parEngine struct {
 	sim *Simulation
 
-	stateMu        sync.Mutex
-	running        int // processes not parked (includes granted)
+	stateMu sync.Mutex
+	// runningList is the explicit set of processes currently running or
+	// granted (stateMu). Scheduler scans walk this list — O(#running) —
+	// never the whole (mostly parked) process population. Empty list
+	// plus a zero in-flight wake count means the simulation is quiescent.
+	runningList    []*Process
 	live           int // processes not finished
 	pending        serHeap
 	grantsInFlight int
 	deadlock       error
 	aborting       bool
 
-	watchMin  atomic.Uint64
 	abortFlag atomic.Bool
+
+	// The Serialized grant barrier: while the head request (time barT)
+	// cannot be granted, barCount approximately counts the running
+	// processes whose clocks still sit at or below barT. Crossings
+	// decrement it lock-free; only the decrement that drains it to zero
+	// takes stateMu to re-attempt the grant, so clock lifts stay cheap
+	// while a request is pending. The count is clamped and maintained so
+	// it never exceeds the true number of running blockers (stray
+	// decrements from a stale epoch only lower it), which means a
+	// positive count never stalls a due grant — at worst a spurious
+	// re-attempt recounts it. timeInf in barT = disarmed.
+	barT     atomic.Uint64
+	barCount atomic.Int64
+	// inflight is the exact number of parked processes with a wake
+	// signal in flight (charged by signal, discharged at unpark). A
+	// non-zero value refutes grants and quiescence without scanning.
+	inflight atomic.Int64
 
 	wg sync.WaitGroup
 
-	// blockers counts processes whose clocks sit at or below watchMin;
-	// only the last one to cross (or park, or finish) re-kicks the
-	// evaluator, so clock advances are cheap while a wait is pending.
-	// Clamped at zero: spurious decrements (processes that became
-	// blockers after the last count) at worst cause an extra kick, which
-	// recounts, never a missed one.
-	blockers atomic.Int64
-
 	// selParkedList tracks processes parked in Select (stateMu).
 	selParkedList []*Process
-	// lastWM is the threshold the blockers count was taken against
-	// (stateMu); the O(procs) recount runs only when the threshold moves.
-	lastWM Time
-	// kickVer versions the per-kick selector-decision cache (stateMu).
+	// kickVer versions the per-pass selector-decision cache (stateMu).
 	kickVer uint64
 
-	// Cached lower bounds on live process clocks (stateMu): the smallest
-	// and second-smallest clock seen at the last fastGrantable scan, and
-	// the owner of the smallest. Clocks are monotone, so the cache only
-	// ever understates the truth — a pass of the cached test is always
-	// safe, a failure falls back to a full scan that refreshes it. This
-	// shortens the Serialized fast path from O(procs) to O(1) whenever the
-	// requester is comfortably behind everyone else.
-	minClock  Time
-	minClock2 Time
-	minPid    int
+	// Scheduler counters. The st* fields are guarded by stateMu; the
+	// atomic ones are written from lock-free paths.
+	stKicks     uint64
+	stScanned   uint64
+	stGrants    uint64
+	stGrantFast uint64
+	stWokenA    atomic.Uint64
+	stScannedA  atomic.Uint64
+	stats       SchedStats // aggregated once by run()
 
-	// Scratch buffers for the evaluator, reused across kicks.
+	// Scratch buffers for the evaluator, reused across passes.
 	bndVal   []Time
 	bndSet   []uint64 // settled-version stamps
 	bndVis   []uint64 // visited-version stamps
@@ -120,7 +158,7 @@ type parEngine struct {
 
 func newParEngine(s *Simulation) *parEngine {
 	e := &parEngine{sim: s}
-	e.watchMin.Store(uint64(timeInf))
+	e.barT.Store(uint64(timeInf))
 	return e
 }
 
@@ -128,8 +166,23 @@ func clockOf(p *Process) Time { return Time(p.par.clock.Load()) }
 
 func (e *parEngine) now(p *Process) Time { return clockOf(p) }
 
-// liftClock raises p's local clock to at least t and kicks the evaluator
-// when the new value crosses the published watch threshold.
+func (e *parEngine) schedStats() SchedStats { return e.stats }
+
+// casMin lowers a to at most v (no-op when already lower).
+func casMin(a *atomic.Uint64, v uint64) {
+	for {
+		old := a.Load()
+		if old <= v || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// liftClock raises p's local clock to at least t. Notification is
+// threshold-driven: the lift does work only when it crosses the
+// Serialized grant barrier or this sender's armed Select trigger; every
+// other lift — the overwhelming majority — is two atomic loads (the
+// fast path). Must be called from p's own goroutine.
 func (e *parEngine) liftClock(p *Process, t Time) {
 	pp := &p.par
 	for {
@@ -137,20 +190,32 @@ func (e *parEngine) liftClock(p *Process, t Time) {
 		if uint64(t) <= old {
 			return
 		}
-		if pp.clock.CompareAndSwap(old, uint64(t)) {
-			wm := e.watchMin.Load()
-			if old <= wm && uint64(t) > wm && e.noteBlockerGone() {
+		if !pp.clock.CompareAndSwap(old, uint64(t)) {
+			continue
+		}
+		pp.stLifts++
+		notified := false
+		if bar := e.barT.Load(); old <= bar && uint64(t) > bar {
+			notified = true
+			if e.noteBarrierCrossed() {
 				e.stateMu.Lock()
-				e.kick()
+				e.maybeGrant()
 				e.stateMu.Unlock()
 			}
-			return
 		}
+		if uint64(t) > pp.selWatch.Load() {
+			notified = true
+			e.senderCrossed(p)
+		}
+		if !notified {
+			pp.stLiftFast++
+		}
+		return
 	}
 }
 
-// liftClockRaw is liftClock without the kick, for use inside the evaluator
-// (which already holds stateMu).
+// liftClockRaw is liftClock without notifications, for use inside the
+// evaluator (which re-arms thresholds itself after lifting).
 func liftClockRaw(p *Process, t Time) {
 	pp := &p.par
 	for {
@@ -180,11 +245,17 @@ func (e *parEngine) advanceTo(p *Process, t Time) {
 	e.liftClock(p, t)
 }
 
-// signal wakes a process parked on its personal condition.
+// signal wakes a process parked on its personal condition, charging the
+// in-flight wake counter exactly once per park episode.
 func (e *parEngine) signal(p *Process) {
+	e.stWokenA.Add(1)
 	pp := &p.par
 	pp.procMu.Lock()
 	pp.wakeGen++
+	if pp.waiting && !pp.resumePending {
+		pp.resumePending = true
+		e.inflight.Add(1)
+	}
 	pp.cond.Broadcast()
 	pp.procMu.Unlock()
 }
@@ -200,38 +271,90 @@ func (e *parEngine) waitGen(p *Process, g0 uint64) {
 	pp.procMu.Unlock()
 }
 
-// parkProc registers p as blocked. set fills the kind-specific fields.
-func (e *parEngine) parkProc(p *Process, kind parkKind, verb string, ch *chanCore, set func(pp *parProc)) {
+// runListAdd/runListDel maintain the explicit running set (stateMu held).
+func (e *parEngine) runListAdd(p *Process) {
+	p.par.runIdx = len(e.runningList)
+	e.runningList = append(e.runningList, p)
+}
+
+func (e *parEngine) runListDel(p *Process) {
+	i := p.par.runIdx
+	last := len(e.runningList) - 1
+	q := e.runningList[last]
+	e.runningList[i] = q
+	q.par.runIdx = i
+	e.runningList[last] = nil
+	e.runningList = e.runningList[:last]
+	p.par.runIdx = -1
+}
+
+// noteBarrierCrossed decrements the barrier count, clamped at zero, and
+// reports whether this drained it (the caller should re-attempt the
+// grant).
+func (e *parEngine) noteBarrierCrossed() bool {
+	for {
+		v := e.barCount.Load()
+		if v <= 0 {
+			return false
+		}
+		if e.barCount.CompareAndSwap(v, v-1) {
+			return v == 1
+		}
+	}
+}
+
+// parkCommit transitions p out of the running set (stateMu held). g0 is
+// the wake-generation snapshot taken at (or before) waiter registration:
+// a signal that landed in between is converted into an immediate resume
+// charge, so no wake is ever lost or double-counted.
+func (e *parEngine) parkCommit(p *Process, g0 uint64) {
+	pp := &p.par
+	e.runListDel(p)
+	if bar := e.barT.Load(); uint64(clockOf(p)) <= bar {
+		e.noteBarrierCrossed()
+	}
+	pp.procMu.Lock()
+	pp.waiting = true
+	if pp.wakeGen != g0 && !pp.resumePending {
+		pp.resumePending = true
+		e.inflight.Add(1)
+	}
+	pp.procMu.Unlock()
+	if len(e.runningList) == 0 && e.inflight.Load() == 0 {
+		e.quiesce()
+	} else {
+		e.maybeGrantIfDrained()
+	}
+}
+
+// unparkCommit transitions p back into the running set (stateMu held),
+// discharging its in-flight wake and re-counting it as a barrier blocker.
+func (e *parEngine) unparkCommit(p *Process) {
+	pp := &p.par
+	pp.procMu.Lock()
+	pp.waiting = false
+	if pp.resumePending {
+		pp.resumePending = false
+		e.inflight.Add(-1)
+	}
+	pp.procMu.Unlock()
+	e.runListAdd(p)
+	if bar := e.barT.Load(); uint64(clockOf(p)) <= bar {
+		e.barCount.Add(1)
+	}
+	e.maybeGrantIfDrained()
+}
+
+// parkProc registers p as blocked on a channel endpoint.
+func (e *parEngine) parkProc(p *Process, kind parkKind, verb string, ch *chanCore, need int64, g0 uint64) {
 	e.stateMu.Lock()
 	pp := &p.par
 	pp.kind = kind
 	pp.blockedVerb, pp.blockedCh = verb, ch
-	if set != nil {
-		set(pp)
-	}
-	e.running--
-	// A parking process stops being a blocker for whatever the evaluator
-	// is waiting on; the last one out re-evaluates. (Decrement before the
-	// running==0 check so the count never stays inflated.)
-	wasLast := uint64(clockOf(p)) <= e.watchMin.Load() && e.noteBlockerGone()
-	if e.running == 0 || wasLast {
-		e.kick()
-	}
+	pp.parkCh = ch
+	pp.parkNeed = need
+	e.parkCommit(p, g0)
 	e.stateMu.Unlock()
-}
-
-// noteBlockerGone decrements the blocker count, clamped at zero, and
-// reports whether this was the last blocker (the caller should kick).
-func (e *parEngine) noteBlockerGone() bool {
-	for {
-		v := e.blockers.Load()
-		if v <= 0 {
-			return false
-		}
-		if e.blockers.CompareAndSwap(v, v-1) {
-			return v == 1
-		}
-	}
 }
 
 func (e *parEngine) unparkProc(p *Process) {
@@ -240,17 +363,19 @@ func (e *parEngine) unparkProc(p *Process) {
 	pp.kind = parkNone
 	pp.blockedVerb, pp.blockedCh = "", nil
 	pp.parkCh = nil
-	pp.parkSels = nil
-	e.running++
+	e.unparkCommit(p)
 	e.stateMu.Unlock()
 }
 
 func (e *parEngine) run() (Time, error) {
 	procs := e.sim.procs
 	e.live = len(procs)
-	e.running = len(procs)
+	e.runningList = make([]*Process, 0, len(procs))
 	for _, p := range procs {
 		p.par.cond = sync.NewCond(&p.par.procMu)
+		p.par.selWatch.Store(uint64(timeInf))
+		p.par.watchTA.Store(uint64(timeInf))
+		e.runListAdd(p)
 	}
 	e.wg.Add(len(procs))
 	for _, p := range procs {
@@ -266,6 +391,21 @@ func (e *parEngine) run() (Time, error) {
 		}()
 	}
 	e.wg.Wait()
+
+	var st SchedStats
+	for _, p := range procs {
+		st.Lifts += p.par.stLifts
+		st.LiftFastPath += p.par.stLiftFast
+	}
+	st.Kicks = e.stKicks
+	st.Scanned = e.stScanned + e.stScannedA.Load()
+	st.Woken = e.stWokenA.Load()
+	st.Grants = e.stGrants
+	st.GrantFastPath = e.stGrantFast
+	e.stats = st
+	if c := schedSink.Load(); c != nil {
+		c.add(st)
+	}
 
 	// Deterministic error selection: the erroring process with the lowest
 	// (finish clock, spawn id) wins, mirroring the sequential engine's
@@ -300,27 +440,35 @@ func (e *parEngine) finishProc(p *Process) {
 	e.stateMu.Lock()
 	pp := &p.par
 	if pp.kind == parkNone || pp.kind == parkGranted {
-		e.running--
+		e.runListDel(p)
+		if bar := e.barT.Load(); uint64(clockOf(p)) <= bar {
+			e.noteBarrierCrossed()
+		}
 	}
 	pp.kind = parkNone
 	pp.finished = true
 	pp.finishClock = clockOf(p)
 	pp.finishedA.Store(true)
-	e.live--
-	// A finishing process stops blocking whatever the evaluator waits on.
-	if uint64(pp.finishClock) <= e.watchMin.Load() {
-		e.noteBlockerGone()
-	}
-	abort := p.err != nil && !e.aborting
-	if abort {
+	if p.err != nil && !e.aborting {
+		e.live--
 		e.aborting = true
 		e.abortFlag.Store(true)
+		e.signalAllLocked()
+		e.stateMu.Unlock()
+		return
 	}
-	if abort || e.live > 0 {
-		if abort {
-			e.signalAllLocked()
+	e.live--
+	e.stateMu.Unlock()
+	// A finished sender's frontier is infinite: Selects parked on its
+	// output channels may now be decidable, so sweep exactly those
+	// waiter lists (outside stateMu — lock order is c.mu -> procMu).
+	e.senderFinished(p)
+	e.stateMu.Lock()
+	if e.live > 0 && !e.aborting {
+		if len(e.runningList) == 0 && e.inflight.Load() == 0 {
+			e.quiesce()
 		} else {
-			e.kick()
+			e.maybeGrantIfDrained()
 		}
 	}
 	e.stateMu.Unlock()
@@ -338,20 +486,37 @@ func (e *parEngine) signalAllLocked() {
 }
 
 func (e *parEngine) triggerDeadlock() {
-	var stuck []string
+	var refs []blockedRef
 	var at Time
 	for _, p := range e.sim.procs {
-		if c := clockOf(p); c > at && !p.par.finished {
+		if p.par.finished {
+			continue
+		}
+		if c := clockOf(p); c > at {
 			at = c
 		}
-		if !p.par.finished {
-			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.Name(), blockedDesc(p.par.blockedVerb, p.par.blockedCh)))
-		}
+		refs = append(refs, blockedRef{
+			name: p.Name(),
+			verb: p.par.blockedVerb,
+			on:   parBlockedOn(&p.par),
+		})
 	}
-	e.deadlock = deadlockError(at, stuck)
+	e.deadlock = deadlockError(at, refs)
 	e.aborting = true
 	e.abortFlag.Store(true)
 	e.signalAllLocked()
+}
+
+// parBlockedOn names the resource a blocked process waits on, for
+// grouping deadlock reports. Materialized only once deadlock is certain.
+func parBlockedOn(pp *parProc) string {
+	if pp.blockedCh != nil {
+		return "chan " + pp.blockedCh.label()
+	}
+	if pp.kind == parkSel && len(pp.parkSels) > 0 {
+		return selectLabel(pp.parkSels)
+	}
+	return ""
 }
 
 // --- Serialized --------------------------------------------------------
@@ -382,7 +547,9 @@ func (e *parEngine) serialized(p *Process, fn func()) {
 func (e *parEngine) serEnqueueOrRunFast(req serReq, fn func()) (g0 uint64, fast bool) {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
-	if e.fastGrantable(req) {
+	if len(e.pending) == 0 && e.grantsInFlight == 0 && !e.aborting && e.grantableHead(req) {
+		e.stGrants++
+		e.stGrantFast++
 		fn()
 		return 0, true
 	}
@@ -392,15 +559,13 @@ func (e *parEngine) serEnqueueOrRunFast(req serReq, fn func()) (g0 uint64, fast 
 	pp.reqT = req.t
 	pp.reqSeq = req.seq
 	pp.blockedVerb = "serialized"
-	e.running--
-	// The requester stops being a counted blocker (it is ordered by the
-	// pending heap from here on); without this the cheap grant refutation
-	// could trust a permanently inflated count.
-	if uint64(req.t) <= e.watchMin.Load() {
-		e.noteBlockerGone()
-	}
 	g0 = pp.snapshotGen()
-	e.kick()
+	e.parkCommit(req.p, g0)
+	if len(e.pending) > 0 && e.pending[0].p == req.p && e.grantsInFlight == 0 && !e.aborting {
+		// New head: the barrier armed for the previous head (a later
+		// request time) over-counts blockers of this one — re-arm.
+		e.maybeGrant()
+	}
 	return g0, false
 }
 
@@ -413,176 +578,148 @@ func (e *parEngine) serRunGranted(pp *parProc, fn func()) {
 		pp.kind = parkNone
 		pp.blockedVerb = ""
 		e.grantsInFlight--
+		e.maybeGrant()
 		e.stateMu.Unlock()
 	}()
 	fn()
 }
 
-// fastGrantable reports whether req is trivially first: no queued or
-// in-flight critical section, and every other live process's local clock
-// has already passed req.t. The O(procs) scan is skipped when the cached
-// clock minimum (over everyone but the requester) already proves the
-// condition; clock monotonicity makes the cached value a permanent lower
-// bound. Callers hold stateMu.
-func (e *parEngine) fastGrantable(req serReq) bool {
-	if len(e.pending) > 0 || e.grantsInFlight > 0 {
-		return false
-	}
-	minOther := e.minClock
-	if e.minPid == req.pid {
-		minOther = e.minClock2
-	}
-	if minOther > req.t {
-		return true
-	}
-	min, min2 := timeInf, timeInf
-	argmin := -1
-	ok := true
-	for _, q := range e.sim.procs {
-		if q.par.finished {
+// --- the Serialized grant scheduler ------------------------------------
+
+// maybeGrant grants pending requests while the head is provably first,
+// then (re-)arms the barrier for the head it cannot grant, or disarms it
+// when nothing is waiting. Callers hold stateMu.
+func (e *parEngine) maybeGrant() {
+	e.stKicks++
+	retried := false
+	for {
+		if e.aborting || len(e.pending) == 0 || e.grantsInFlight > 0 {
+			e.barT.Store(uint64(timeInf))
+			return
+		}
+		req := e.pending[0]
+		if e.grantableHead(req) {
+			e.grantHead(req)
+			retried = false
 			continue
 		}
-		c := clockOf(q)
-		if c < min {
-			min, min2, argmin = c, min, q.id
-		} else if c < min2 {
-			min2 = c
+		e.rearmBarrier(req)
+		if e.barCount.Load() <= 0 && !retried {
+			// Every running blocker crossed between the check and the
+			// recount; one bounded retry avoids waiting for the next
+			// state transition. (A second failure means the refutation
+			// is a parked selector or an in-flight wake, whose own
+			// unpark re-triggers this.)
+			retried = true
+			continue
 		}
-		if q != req.p && c <= req.t {
-			ok = false
-		}
+		return
 	}
-	e.minClock, e.minClock2, e.minPid = min, min2, argmin
-	return ok
 }
 
-// --- the evaluator -----------------------------------------------------
+// maybeGrantIfDrained re-attempts the head grant when the barrier count
+// is drained (O(1) otherwise). Called on every state transition so a
+// drained barrier is never left without a pending re-attempt.
+func (e *parEngine) maybeGrantIfDrained() {
+	if len(e.pending) > 0 && e.grantsInFlight == 0 && !e.aborting && e.barCount.Load() <= 0 {
+		e.maybeGrant()
+	}
+}
 
-// kick is the conservative evaluator. Callers hold stateMu. It
-//
-//  1. computes, for every process, a lower bound on the virtual time of
-//     its next externally visible action (Dijkstra over the wait graph,
-//     with local clocks as floors and channel latencies as edge weights),
-//  2. lifts parked processes' clocks to those bounds (time bridging),
-//  3. grants the lowest pending Serialized request whose order can no
-//     longer be usurped,
-//  4. wakes parked Selects whose conservative decision rule now commits,
-//  5. detects genuine deadlock when nothing can ever progress again, and
-//  6. republishes the watch threshold that makes clock advances re-kick.
-func (e *parEngine) kick() {
+// grantableHead is the authoritative, cheap grant check for the head
+// request: no wake in flight, no running process at or below the request
+// time, and no parked selector that could still commit at or below it.
+// Parked (uncharged) processes need no check: any resume adopts a
+// virtual time caused by a process this scan already requires to be past
+// req.t, and other queued requests are ordered by the pending heap.
+// Callers hold stateMu.
+func (e *parEngine) grantableHead(req serReq) bool {
+	if e.inflight.Load() != 0 {
+		return false
+	}
+	for _, q := range e.runningList {
+		e.stScanned++
+		if q != req.p && clockOf(q) <= req.t {
+			return false
+		}
+	}
+	for _, q := range e.selParkedList {
+		e.stScanned++
+		// A parked selector can commit at the ready time of an element
+		// it ALREADY holds — possibly at or before req.t — once a
+		// frontier catches up. Old elements at or before req.t block
+		// the grant outright; new elements can only arrive from senders
+		// this scan already requires to be past req.t.
+		if clockOf(q) <= req.t && e.selMinHead(q.par.parkSels) <= req.t {
+			return false
+		}
+	}
+	return true
+}
+
+// grantHead pops and grants the head request (stateMu held).
+func (e *parEngine) grantHead(req serReq) {
+	e.pending.popReq()
+	pp := &req.p.par
+	pp.kind = parkGranted
+	pp.blockedVerb = ""
+	e.grantsInFlight++
+	e.stGrants++
+	e.unparkCommit(req.p)
+	e.signal(req.p)
+}
+
+// rearmBarrier publishes the head request's time as the barrier and
+// counts the running blockers against it. The sentinel keeps racing
+// lock-free decrements (crossings observed mid-scan) from being lost:
+// they land on the sentinel and survive the final adjustment, so the
+// count can only undercount — which at worst costs a spurious re-attempt,
+// never a missed grant. Callers hold stateMu.
+func (e *parEngine) rearmBarrier(req serReq) {
+	const sentinel = int64(1) << 60
+	e.barT.Store(uint64(req.t))
+	e.barCount.Store(sentinel)
+	var n int64
+	for _, q := range e.runningList {
+		e.stScanned++
+		if q != req.p && clockOf(q) <= req.t {
+			n++
+		}
+	}
+	e.barCount.Add(n - sentinel)
+}
+
+// quiesce is the evaluator, run only at global quiescence (no running
+// process, no wake in flight): it computes conservative next-action
+// bounds, lifts parked clocks, commits decidable Selects, grants the
+// head request if possible, and otherwise declares deadlock. Callers
+// hold stateMu.
+func (e *parEngine) quiesce() {
 	if e.aborting || e.live == 0 {
 		return
 	}
-	procs := e.sim.procs
-	// Publish a conservative watch threshold before reading any clocks:
-	// a clock advance racing with this evaluation then either sees the
-	// threshold (and re-kicks) or is visible to the reads below.
-	e.watchMin.Store(uint64(e.watchFloor()))
-
-	progress := false
+	e.stKicks++
 	e.kickVer++
-
-	// Grant at most one request per kick: a granted section runs at its
-	// request time, so a second same-cycle grant could not be validated
-	// until the first grantee's clock moves anyway.
-	if e.tryGrant(false) {
-		progress = true
-	}
-
-	// Run the expensive frontier analysis (bound propagation + selector
-	// decisions) only when a Select is the earliest pending wait —
-	// otherwise the earlier-in-virtual-time grant traffic re-kicks us
-	// here as soon as the queue drains down to the selector.
-	selsEvald := false
-	if e.selIsEarliestWait() {
-		if e.evalSelectors(e.computeBounds()) {
-			progress = true
-		}
-		selsEvald = true
-	}
-
-	if !progress && e.running == 0 && e.live > 0 {
-		// Authoritative pass before declaring deadlock: the cheap paths
-		// above may have trusted a stale blocker count or skipped the
-		// frontier analysis.
-		if !selsEvald && e.evalSelectors(e.computeBounds()) {
-			progress = true
-		}
-		if !progress && !e.tryGrant(true) && !e.anyParkedEligible() {
-			e.triggerDeadlock()
-			return
+	progress := e.evalSelectors(e.computeBounds())
+	granted := false
+	if len(e.pending) > 0 && e.grantsInFlight == 0 {
+		if req := e.pending[0]; e.grantableHead(req) {
+			e.grantHead(req)
+			granted = true
 		}
 	}
-
-	// Republish the watch threshold — the smallest virtual time a foreign
-	// clock advance could unblock — and count the processes still at or
-	// below it. Each of those eventually crosses it, parks below it, or
-	// finishes, and the last one to do so re-kicks; everyone else's clock
-	// advances stay cheap. The count is maintained incrementally between
-	// kicks and recounted only when the threshold moves, or when a kick
-	// made no progress with a drained counter (the counter is clamped and
-	// approximate; waits must never be left without a pending trigger).
-	wm := e.watchFloor()
-	e.watchMin.Store(uint64(wm))
-	stillWaiting := len(e.pending) > 0 || len(e.selParkedList) > 0
-	if wm != e.lastWM || (stillWaiting && wm != timeInf && e.blockers.Load() <= 0) {
-		var blockers int64
-		if wm != timeInf {
-			for _, q := range procs {
-				if q.par.finished || clockOf(q) > wm {
-					continue
-				}
-				switch q.par.kind {
-				case parkNone, parkGranted:
-					blockers++
-				case parkRecv, parkSend, parkSel:
-					if e.parkedEligible(q) {
-						blockers++
-					}
-				}
-			}
-		}
-		e.blockers.Store(blockers)
-		e.lastWM = wm
+	if !progress && !granted && e.inflight.Load() == 0 && !e.anyParkedEligible() {
+		e.triggerDeadlock()
+		return
 	}
-}
-
-// watchFloor is the smallest virtual time a foreign clock advance could
-// unblock: the lowest pending request time or select commit threshold.
-// Callers hold stateMu.
-func (e *parEngine) watchFloor() Time {
-	wm := timeInf
-	if len(e.pending) > 0 && e.pending[0].t < wm {
-		wm = e.pending[0].t
-	}
-	for _, p := range e.selParkedList {
-		if p.par.watchT < wm {
-			wm = p.par.watchT
-		}
-	}
-	return wm
-}
-
-// selIsEarliestWait reports whether some parked Select's commit threshold
-// is at or before every pending Serialized request.
-func (e *parEngine) selIsEarliestWait() bool {
-	if len(e.selParkedList) == 0 {
-		return false
-	}
-	if len(e.pending) == 0 {
-		return true
-	}
-	for _, p := range e.selParkedList {
-		if p.par.watchT <= e.pending[0].t {
-			return true
-		}
-	}
-	return false
+	// Re-arm the barrier against the evaluator's raw lifts (liftClockRaw
+	// bypasses barrier accounting, so the old count may overcount).
+	e.maybeGrant()
 }
 
 // evalSelectors re-runs the decision rule for every parked Select with
 // evaluator bounds, signaling the decidable ones. The decisions are
-// cached for this kick's eligibility checks.
+// cached for this pass's eligibility checks.
 func (e *parEngine) evalSelectors(bounds []Time) bool {
 	progress := false
 	for _, p := range e.selParkedList {
@@ -595,75 +732,6 @@ func (e *parEngine) evalSelectors(bounds []Time) bool {
 		}
 	}
 	return progress
-}
-
-// tryGrant grants the lowest pending request if its order can no longer
-// be usurped. A positive blocker count taken against exactly the
-// request's time refutes the grant without rescanning, unless force is
-// set (the scan in grantable is the authoritative check).
-func (e *parEngine) tryGrant(force bool) bool {
-	if len(e.pending) == 0 {
-		return false
-	}
-	req := e.pending[0]
-	if !force && e.lastWM == req.t && e.blockers.Load() > 0 {
-		return false
-	}
-	if !e.grantable(req) {
-		return false
-	}
-	e.pending.popReq()
-	pp := &req.p.par
-	pp.kind = parkGranted
-	pp.blockedVerb = ""
-	e.running++
-	e.grantsInFlight++
-	e.signal(req.p)
-	return true
-}
-
-// grantable checks that no other process can still begin a Serialized
-// section ordered before req. Non-eligible parked processes are exempt:
-// any future action of theirs is caused by a process that is checked here,
-// and therefore ordered after the grant. Eligible parked processes (wake
-// in flight) are held to the same raw-clock test as running ones — they
-// resume shortly and re-enable the grant via their own clock advance.
-func (e *parEngine) grantable(req serReq) bool {
-	if e.grantsInFlight > 0 {
-		return false
-	}
-	for _, q := range e.sim.procs {
-		if q == req.p || q.par.finished {
-			continue
-		}
-		pp := &q.par
-		switch pp.kind {
-		case parkReq:
-			if !serLess(req, serReq{t: pp.reqT, pid: q.id, seq: pp.reqSeq}) {
-				return false
-			}
-		case parkRecv, parkSend:
-			if clockOf(q) <= req.t && e.parkedEligible(q) {
-				return false
-			}
-		case parkSel:
-			// A parked selector is special: even while undecided, it can
-			// later commit at the ready time of an element it ALREADY
-			// holds — a virtual time possibly at or before req.t — once a
-			// frontier catches up. Old elements at or before req.t
-			// therefore block the grant outright; new elements can only
-			// arrive from senders this scan already requires to be past
-			// req.t.
-			if clockOf(q) <= req.t && e.selMinHead(q.par.parkSels) <= req.t {
-				return false
-			}
-		default: // running or granted
-			if clockOf(q) <= req.t {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // selMinHead returns the earliest visibility time among elements already
@@ -986,9 +1054,25 @@ func (e *parEngine) parkedTentative(p *Process, val []Time, set []uint64, ver ui
 
 // --- channel protocol --------------------------------------------------
 
+// registerOut records c as one of p's output channels (idempotent).
+// Called at bind time only, from p's own goroutine or during pre-Run
+// setup, so the slice needs no lock (see parProc.outChans).
+func (e *parEngine) registerOut(c *chanCore, p *Process) {
+	for _, o := range p.par.outChans {
+		if o == c {
+			return
+		}
+	}
+	p.par.outChans = append(p.par.outChans, c)
+}
+
 func (e *parEngine) bindOnSend(c *chanCore, p *Process) {
 	if got := c.sender.Load(); got == nil {
-		c.sender.CompareAndSwap(nil, p)
+		if c.sender.CompareAndSwap(nil, p) {
+			e.registerOut(c, p)
+		} else if c.sender.Load() != p {
+			panic(fmt.Sprintf("des: channel %q has two senders", c.label()))
+		}
 	} else if got != p {
 		panic(fmt.Sprintf("des: channel %q has two senders", c.label()))
 	}
@@ -1025,10 +1109,7 @@ func (e *parEngine) sendReserve(c *chanCore, p *Process) int {
 		need := c.sendParkedNeed
 		g0 := p.par.snapshotGen()
 		c.mu.Unlock()
-		e.parkProc(p, parkSend, "send", c, func(pp *parProc) {
-			pp.parkCh = c
-			pp.parkNeed = need
-		})
+		e.parkProc(p, parkSend, "send", c, need, g0)
 		e.waitGen(p, g0)
 		e.unparkProc(p)
 		c.mu.Lock()
@@ -1074,9 +1155,7 @@ func (e *parEngine) recvWait(c *chanCore, p *Process) (int, bool) {
 		c.recvParked = p
 		g0 := p.par.snapshotGen()
 		c.mu.Unlock()
-		e.parkProc(p, parkRecv, "recv", c, func(pp *parProc) {
-			pp.parkCh = c
-		})
+		e.parkProc(p, parkRecv, "recv", c, 0, g0)
 		e.waitGen(p, g0)
 		e.unparkProc(p)
 		c.mu.Lock()
@@ -1102,6 +1181,9 @@ func (e *parEngine) recvRelease(c *chanCore, p *Process) {
 // the receiver's clock it is handed out without a park round-trip (no
 // clock lift needed — visible means ready <= clock). Timing-identical to
 // recvRelease followed by a recvWait that found the element visible.
+// This is also what batches a RecvUntil drain's frontier publications:
+// the drain's clock moves only on the elements that actually lift it,
+// not once per element.
 func (e *parEngine) recvMore(c *chanCore, p *Process) (int, bool) {
 	now := clockOf(p)
 	c.mu.Lock()
@@ -1239,51 +1321,50 @@ func (e *parEngine) selDecision(cores []*chanCore, bounds []Time) (idx int, lift
 
 func (e *parEngine) sel(p *Process, cores []*chanCore) int {
 	e.checkAbort()
+	pp := &p.par
 	for {
 		if idx, lift, decided := e.selDecision(cores, nil); decided {
 			e.liftClock(p, lift)
 			return idx
 		}
-		// Register on every channel, then re-check under stateMu so a
-		// frontier crossing between the check and the registration cannot
-		// be missed (kick reads the registry under stateMu).
-		g0 := p.par.snapshotGen()
+		g0 := pp.snapshotGen()
+		wt := e.selMinHead(cores)
+		// Publish this selector's commit threshold BEFORE registering on
+		// the channels: a sender walking a waiter list always sees the
+		// current episode's threshold, never a stale lower one that
+		// could suppress its trigger.
+		pp.watchTA.Store(uint64(wt))
 		for _, c := range cores {
 			c.mu.Lock()
 			c.selParked = append(c.selParked, p)
 			c.mu.Unlock()
 		}
 		e.stateMu.Lock()
-		pp := &p.par
 		pp.kind = parkSel
 		pp.blockedVerb = "select"
 		pp.parkSels = cores
-		pp.watchT = e.selWatch(cores)
 		e.selParkedList = append(e.selParkedList, p)
-		// Publish the watch threshold BEFORE the final decision check:
-		// sequentially consistent atomics then guarantee that a
-		// concurrent frontier advance either sees the threshold (and
-		// kicks) or happened early enough for the check below to see the
-		// new clock.
-		if wm := e.watchMin.Load(); uint64(pp.watchT) < wm {
-			e.watchMin.Store(uint64(pp.watchT))
-		}
-		idx, lift, decided := e.selDecision(cores, nil)
-		if decided {
+		e.stateMu.Unlock()
+		// Arm per-sender triggers, then re-check: any frontier crossing
+		// after the trigger store signals us through the channel's
+		// waiter list; any crossing before it is visible to this
+		// re-check (sequentially consistent atomics). Either way no
+		// wake is missed.
+		e.armSelTriggers(cores, wt)
+		if idx, lift, decided := e.selDecision(cores, nil); decided {
+			e.stateMu.Lock()
 			pp.kind = parkNone
 			pp.blockedVerb = ""
 			pp.parkSels = nil
+			pp.watchTA.Store(uint64(timeInf))
 			e.dropSelParked(p)
 			e.stateMu.Unlock()
 			e.deregisterSel(p, cores)
 			e.liftClock(p, lift)
 			return idx
 		}
-		e.running--
-		wasLast := uint64(clockOf(p)) <= e.watchMin.Load() && e.noteBlockerGone()
-		if e.running == 0 || wasLast {
-			e.kick()
-		}
+		e.stateMu.Lock()
+		e.parkCommit(p, g0)
 		e.stateMu.Unlock()
 		e.waitGen(p, g0)
 		e.unparkSel(p)
@@ -1292,16 +1373,90 @@ func (e *parEngine) sel(p *Process, cores []*chanCore) int {
 	}
 }
 
-// selWatch returns the frontier threshold that blocks this select: a
-// foreign clock crossing it can enable the commit.
-func (e *parEngine) selWatch(cores []*chanCore) Time {
-	best := timeInf
-	for _, c := range cores {
-		if hr := Time(c.headReadyA.Load()); hr < best {
-			best = hr
-		}
+// armSelTriggers lowers each blocking sender's trigger to the clock value
+// whose crossing could commit this select (threshold minus the channel
+// latency). Channels whose frontier already passed are skipped — the
+// caller's re-check observes them. A threshold of timeInf means the
+// select holds no element yet; it can then only be decided by a new
+// element or a close, both of which signal the waiter list directly.
+func (e *parEngine) armSelTriggers(cores []*chanCore, wt Time) {
+	if wt == timeInf {
+		return
 	}
-	return best
+	for _, c := range cores {
+		if Time(c.headReadyA.Load()) != timeInf || c.closedA.Load() {
+			continue
+		}
+		s := c.sender.Load()
+		if s == nil || s.par.finishedA.Load() {
+			continue
+		}
+		trig := Time(0)
+		if wt > c.latency {
+			trig = wt - c.latency
+		}
+		if clockOf(s) > trig {
+			continue
+		}
+		casMin(&s.par.selWatch, uint64(trig))
+	}
+}
+
+// senderCrossed walks the parked selectors on p's output channels after
+// p's clock crossed its armed trigger: selectors whose threshold is now
+// proven get a wake signal; the rest re-arm the trigger to the next
+// lowest threshold. Must be called from p's own goroutine. Work is
+// proportional to the selectors parked on p's own channels — the sharded
+// replacement for the old global O(parked) kick scan.
+func (e *parEngine) senderCrossed(p *Process) {
+	pp := &p.par
+	for {
+		sw := pp.selWatch.Load()
+		clk := pp.clock.Load()
+		if clk <= sw {
+			return
+		}
+		next := uint64(timeInf)
+		for _, c := range pp.outChans {
+			c.mu.Lock()
+			for _, q := range c.selParked {
+				e.stScannedA.Add(1)
+				wt := q.par.watchTA.Load()
+				if wt == uint64(timeInf) {
+					continue
+				}
+				trig := uint64(0)
+				if wt > uint64(c.latency) {
+					trig = wt - uint64(c.latency)
+				}
+				if clk > trig {
+					e.signal(q)
+				} else if trig < next {
+					next = trig
+				}
+			}
+			c.mu.Unlock()
+		}
+		if pp.selWatch.CompareAndSwap(sw, next) {
+			return
+		}
+		// A selector lowered the trigger mid-walk; re-walk so its
+		// threshold is either proven or re-armed.
+	}
+}
+
+// senderFinished wakes every selector parked on p's output channels: a
+// finished sender's frontier is infinite, which may decide their commits.
+// Must be called after finishedA is published and outside stateMu.
+func (e *parEngine) senderFinished(p *Process) {
+	p.par.selWatch.Store(uint64(timeInf))
+	for _, c := range p.par.outChans {
+		c.mu.Lock()
+		for _, q := range c.selParked {
+			e.signal(q)
+		}
+		c.mu.Unlock()
+	}
 }
 
 // dropSelParked removes p from the parked-selector list (stateMu held).
@@ -1322,8 +1477,9 @@ func (e *parEngine) unparkSel(p *Process) {
 	pp.blockedVerb, pp.blockedCh = "", nil
 	pp.parkCh = nil
 	pp.parkSels = nil
+	pp.watchTA.Store(uint64(timeInf))
 	e.dropSelParked(p)
-	e.running++
+	e.unparkCommit(p)
 	e.stateMu.Unlock()
 }
 

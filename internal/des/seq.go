@@ -32,6 +32,9 @@ type seqProc struct {
 	// deadlock reports.
 	blockedVerb string
 	blockedCh   *chanCore
+	// blockedSels is the channel set of a blocked Select (diagnostics
+	// only; a slice-header assignment, so recording it never allocates).
+	blockedSels []*chanCore
 }
 
 // event is a scheduled wake-up of a process.
@@ -397,14 +400,33 @@ func (e *seqEngine) finishProc(p *Process) {
 }
 
 func (e *seqEngine) deadlockError() error {
-	var stuck []string
+	var refs []blockedRef
 	for _, p := range e.sim.procs {
-		if p.seq.state != stateFinished {
-			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.Name(), blockedDesc(p.seq.blockedVerb, p.seq.blockedCh)))
+		if p.seq.state == stateFinished {
+			continue
 		}
+		refs = append(refs, blockedRef{
+			name: p.Name(),
+			verb: p.seq.blockedVerb,
+			on:   seqBlockedOn(&p.seq),
+		})
 	}
-	return deadlockError(e.nowT, stuck)
+	return deadlockError(e.nowT, refs)
 }
+
+// seqBlockedOn names the resource a blocked process waits on, for
+// grouping deadlock reports. Materialized only once deadlock is certain.
+func seqBlockedOn(sp *seqProc) string {
+	if sp.blockedCh != nil {
+		return "chan " + sp.blockedCh.label()
+	}
+	if len(sp.blockedSels) > 0 {
+		return selectLabel(sp.blockedSels)
+	}
+	return ""
+}
+
+func (e *seqEngine) schedStats() SchedStats { return SchedStats{} }
 
 // --- channel protocol -------------------------------------------------
 
@@ -530,7 +552,9 @@ func (e *seqEngine) sel(p *Process, cores []*chanCore) int {
 					e.setSelWaiter(c, p)
 				}
 				e.schedule(bestAt, p, p.seq.episode+1)
+				p.seq.blockedSels = cores
 				e.yield(p, "select-latency", nil)
+				p.seq.blockedSels = nil
 				for _, c := range cores {
 					e.clearSelWaiter(c, p)
 				}
@@ -545,7 +569,9 @@ func (e *seqEngine) sel(p *Process, cores []*chanCore) int {
 		for _, c := range cores {
 			e.setSelWaiter(c, p)
 		}
+		p.seq.blockedSels = cores
 		e.yield(p, "select", nil)
+		p.seq.blockedSels = nil
 		for _, c := range cores {
 			e.clearSelWaiter(c, p)
 		}

@@ -1,0 +1,93 @@
+package des
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SchedStats counts the parallel engine's wake-up machinery, making
+// scheduler contention observable on any hardware: the counters depend on
+// the virtual-time structure of the workload, not on core count or
+// wall-clock interleaving, so a 1-CPU CI runner can assert the same
+// O(waiters-on-this-endpoint) bounds a 64-core box would see.
+//
+// The sequential engine reports all zeroes (it has no wake-up scans).
+type SchedStats struct {
+	// Lifts is the number of committed local-clock lifts (Advance,
+	// channel time bridging, Select commits). Every lift must answer
+	// "did this unblock anyone?" — the counters below say how much work
+	// that answer cost.
+	Lifts uint64
+	// LiftFastPath counts lifts that crossed no armed threshold (the
+	// Serialized grant barrier, a Select frontier trigger) and therefore
+	// did no notification work at all beyond two atomic loads.
+	LiftFastPath uint64
+	// Kicks is the number of scheduler evaluations: Serialized grant
+	// attempts and quiescent-state frontier analyses.
+	Kicks uint64
+	// Scanned is the number of process/waiter entries examined by
+	// scheduler scans (grant checks, barrier recounts, per-channel
+	// select-trigger walks). Scanned/Lifts is the headline contention
+	// figure: the pre-shard engine scanned the whole parked population
+	// per lift; the sharded engine scans only plausibly unblocked waiters.
+	Scanned uint64
+	// Woken is the number of wake signals delivered to parked processes.
+	Woken uint64
+	// Grants is the number of Serialized critical sections granted;
+	// GrantFastPath counts the subset granted inline without parking.
+	Grants        uint64
+	GrantFastPath uint64
+}
+
+// ScannedPerLift is Scanned/Lifts, the average scheduler work per clock
+// movement (0 when no lifts happened).
+func (s SchedStats) ScannedPerLift() float64 {
+	if s.Lifts == 0 {
+		return 0
+	}
+	return float64(s.Scanned) / float64(s.Lifts)
+}
+
+// Add accumulates o into s.
+func (s *SchedStats) Add(o SchedStats) {
+	s.Lifts += o.Lifts
+	s.LiftFastPath += o.LiftFastPath
+	s.Kicks += o.Kicks
+	s.Scanned += o.Scanned
+	s.Woken += o.Woken
+	s.Grants += o.Grants
+	s.GrantFastPath += o.GrantFastPath
+}
+
+// SchedCollector accumulates SchedStats across simulation runs. Install
+// one with SetSchedCollector to observe runs constructed deep inside a
+// harness (stepctl exp -schedstats aggregates a whole experiment sweep
+// this way); each parallel-engine run adds its totals on completion.
+type SchedCollector struct {
+	mu    sync.Mutex
+	total SchedStats
+	runs  uint64
+}
+
+func (c *SchedCollector) add(s SchedStats) {
+	c.mu.Lock()
+	c.total.Add(s)
+	c.runs++
+	c.mu.Unlock()
+}
+
+// Snapshot returns the accumulated totals and the number of
+// parallel-engine runs that contributed to them.
+func (c *SchedCollector) Snapshot() (SchedStats, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total, c.runs
+}
+
+// schedSink is the process-global collector; nil when disabled.
+var schedSink atomic.Pointer[SchedCollector]
+
+// SetSchedCollector installs (or, with nil, removes) the process-global
+// scheduler-stats collector. Intended for CLI/diagnostic aggregation,
+// not for concurrent test use.
+func SetSchedCollector(c *SchedCollector) { schedSink.Store(c) }

@@ -67,6 +67,23 @@ type Result struct {
 	TotalFLOPs int64
 	// AllocatedComputeBW sums the FLOPs/cycle allocated across operators.
 	AllocatedComputeBW int64
+	// Sched reports the DES engine's scheduler-contention counters for
+	// the run (all zeroes under the sequential engine). Deliberately
+	// excluded from result equality: the counters describe how the
+	// engine coordinated, not what the simulation computed.
+	Sched des.SchedStats
+}
+
+// Equal reports whether two results describe the same simulation
+// outcome. The scheduler-contention counters are excluded: for
+// byte-identical runs they vary across engines and worker counts,
+// because they describe how the engine coordinated rather than what
+// the simulation computed. Determinism checks must use this instead
+// of ==.
+func (r Result) Equal(o Result) bool {
+	r.Sched = des.SchedStats{}
+	o.Sched = des.SchedStats{}
+	return r == o
 }
 
 // ComputeUtilization is TotalFLOPs / (AllocatedComputeBW × Cycles).
@@ -273,6 +290,7 @@ func (g *Graph) run(cfg Config) (Result, error) {
 		PeakOnchipBytes:     peakOnchip,
 		TotalFLOPs:          counters.FLOPs,
 		AllocatedComputeBW:  g.AllocatedComputeBW(),
+		Sched:               sim.SchedStats(),
 	}
 	if err == nil {
 		err = spadErr

@@ -284,7 +284,7 @@ func TestProgramIRGolden(t *testing.T) {
 				if err != nil {
 					t.Fatalf("run file (sw=%d): %v", sw, err)
 				}
-				if sGo.Result != sFile.Result {
+				if !sGo.Result.Equal(sFile.Result) {
 					t.Fatalf("sw=%d: results differ: %+v vs %+v", sw, sGo.Result, sFile.Result)
 				}
 				for _, name := range sGo.CaptureNames() {

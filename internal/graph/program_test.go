@@ -108,7 +108,7 @@ func TestProgramConcurrentRunsIR(t *testing.T) {
 				errs[i] = err
 				return
 			}
-			if s.Result != base.Result {
+			if !s.Result.Equal(base.Result) {
 				errs[i] = errors.New("result mismatch")
 				return
 			}
@@ -152,7 +152,7 @@ func TestProgramConcurrentRunsClosureBound(t *testing.T) {
 				return
 			}
 			got, _ := s.Captured("out")
-			if s.Result != base.Result || element.FormatStream(got) != element.FormatStream(want) {
+			if !s.Result.Equal(base.Result) || element.FormatStream(got) != element.FormatStream(want) {
 				errs[i] = errors.New("mismatch")
 			}
 		}(i)
@@ -182,7 +182,7 @@ func TestProgramRunMatchesLegacyRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Result != legacy {
+	if !sess.Result.Equal(legacy) {
 		t.Fatalf("results differ: %+v vs %+v", sess.Result, legacy)
 	}
 }

@@ -1,0 +1,76 @@
+package step_test
+
+import (
+	"testing"
+
+	"step"
+	"step/internal/trace"
+	"step/internal/workloads"
+)
+
+// TestSchedStatsGate is the CI contention gate for the parallel engine's
+// sharded wake-up machinery (run by `make bench-smoke`). The counters it
+// checks depend on the workload's virtual-time structure, not on core
+// count or wall-clock interleaving, so the bounds hold on any hardware —
+// including the 1-CPU runner where wall-clock speedups are meaningless.
+//
+// Reference points on moe-layer (Qwen3 scaled /8, batch 64, dynamic
+// tiling, skew-heavy routing, seed 7, sim-workers=8):
+//
+//   - pre-shard engine (global O(parked) kick scan): scanned/lift = 510.73
+//   - sharded engine (per-endpoint waiter lists):    scanned/lift ≈ 0.59
+//
+// The gate asserts scanned/lift <= 10 — a 51x margin over the measured
+// value and still 51x below the pre-shard engine — so it fails loudly if
+// a global scan ever creeps back into the lift path, without flaking on
+// benign scheduling jitter.
+func TestSchedStatsGate(t *testing.T) {
+	m := workloads.Qwen3Config().Scaled(8)
+	routing, err := trace.SampleExpertRouting(64, m.NumExperts, m.TopK, trace.SkewHeavy, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+		Model: m, Batch: 64, Dynamic: true, Routing: routing, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := step.DefaultConfig()
+	cfg.SimWorkers = 8
+	res, err := l.Graph.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sched
+	t.Logf("sched: lifts=%d lift-fastpath=%d kicks=%d scanned=%d woken=%d grants=%d grant-fastpath=%d scanned/lift=%.3f",
+		s.Lifts, s.LiftFastPath, s.Kicks, s.Scanned, s.Woken, s.Grants, s.GrantFastPath, s.ScannedPerLift())
+
+	if s.Lifts == 0 || s.Grants == 0 {
+		t.Fatalf("gate workload lost its contention shape: lifts=%d grants=%d (both must be > 0)", s.Lifts, s.Grants)
+	}
+	if spl := s.ScannedPerLift(); spl > 10 {
+		t.Errorf("scanned/lift = %.2f, want <= 10 (sharded engine measures ~0.59; the pre-shard global scan measured 510.73)", spl)
+	}
+	// The lift fast path is the batched-lift claim: the overwhelming
+	// majority of clock movements must touch no scheduler state beyond
+	// two atomic threshold loads.
+	if frac := float64(s.LiftFastPath) / float64(s.Lifts); frac < 0.5 {
+		t.Errorf("lift fast-path fraction = %.2f, want >= 0.5 (measured ~0.93)", frac)
+	}
+	// The sequential engine must stay out of the counters entirely.
+	cfgSeq := step.DefaultConfig()
+	l2, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+		Model: m, Batch: 64, Dynamic: true, Routing: routing, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSeq, err := l2.Graph.Run(cfgSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSeq.Sched != (step.SchedStats{}) {
+		t.Errorf("sequential engine reported non-zero SchedStats: %+v", resSeq.Sched)
+	}
+}

@@ -150,7 +150,20 @@ type (
 	Tile = tile.Tile
 	// Time is the virtual clock in cycles.
 	Time = des.Time
+	// SchedStats is the DES engine's scheduler-contention counter block,
+	// reported per run in Result.Sched (all zeroes under the sequential
+	// engine).
+	SchedStats = des.SchedStats
+	// SchedCollector aggregates SchedStats across every simulation run in
+	// the process while installed (see SetSchedCollector); tools like
+	// `stepctl exp -schedstats` use it to observe runs constructed deep
+	// inside a harness.
+	SchedCollector = des.SchedCollector
 )
+
+// SetSchedCollector installs (or, with nil, removes) the process-global
+// scheduler-stats collector.
+var SetSchedCollector = des.SetSchedCollector
 
 // NewGraph creates an empty STeP program builder.
 func NewGraph() *Graph { return graph.New() }
