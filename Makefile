@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke examples-smoke cover check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke stream-smoke examples-smoke cover check
 
 all: check
 
@@ -96,6 +96,12 @@ examples-smoke:
 serve-smoke:
 	bash examples/serve_smoke.sh
 
+# stream-smoke drives the per-point result pipeline end to end: batch
+# vs -follow sweeps, `stepctl watch` tailing a live served job, and the
+# journal replay of a cache hit — all four must render identical bytes.
+stream-smoke:
+	bash examples/stream_smoke.sh
+
 # cover is the full test suite run with a coverage profile plus a
 # whole-module summary; CI's test job runs it *in place of* `test`, so
 # coverage costs no second suite execution.
@@ -103,4 +109,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke examples-smoke
+check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke stream-smoke examples-smoke

@@ -9,25 +9,32 @@
 //	stepctl exp [flags]        # run paper experiments on the parallel harness
 //	stepctl sweep [flags]      # run a declarative scenario sweep (JSON spec)
 //	stepctl serve [flags]      # serve sweeps over HTTP with a result cache
+//	stepctl watch <server> <job-id>
+//	                           # tail a served sweep's row stream live
 //	stepctl program <compile|dot|run> -ir file.json
 //	                           # validate, render, or execute a program IR
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"step"
 	"step/internal/experiments"
+	"step/internal/harness"
 	"step/internal/scenario"
 	"step/internal/service"
 	"step/internal/store"
@@ -54,6 +61,8 @@ func main() {
 		err = sweep(os.Args[2:])
 	case "serve":
 		err = serve(os.Args[2:])
+	case "watch":
+		err = watch(os.Args[2:])
 	case "program":
 		err = program(os.Args[2:])
 	default:
@@ -67,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve|program> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve|watch|program> [flags]")
 }
 
 // program works with serializable program IRs: compile validates and
@@ -170,6 +179,7 @@ func sweep(args []string) error {
 		workers    = fs.Int("workers", 0, "parallel sweep workers (0 = one per CPU, 1 = sequential)")
 		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel (identical results)")
 		out        = fs.String("out", "", "directory to write a CSV result into")
+		follow     = fs.Bool("follow", false, "print rows to stderr as points land (completion order); the final table still goes to stdout")
 		cache      = fs.Bool("cache", false, "serve byte-identical repeats from the content-addressed result cache")
 		cacheDir   = fs.String("cache-dir", ".step-cache", "result cache directory (with -cache)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -226,10 +236,25 @@ func sweep(args []string) error {
 		}
 	}
 
+	// With -follow, rows print to stderr in completion order as the
+	// harness finishes points; stdout still carries the final assembled
+	// table, so pipelines see identical bytes either way.
+	var sink scenario.Sink
+	if *follow {
+		sink = scenario.Sink{
+			Start: func(st scenario.StreamStart) {
+				fmt.Fprintf(os.Stderr, "sweep: %s: %d rows over %d points\n", st.TableID, st.Rows, st.Points)
+			},
+			Row: func(p scenario.PointResult) {
+				fmt.Fprintf(os.Stderr, "row %d/%d  %s\n", p.Index+1, p.Total, strings.Join(p.Cells, "  "))
+			},
+		}
+	}
+
 	return withProfiles(*cpuProfile, *memProfile, func() error {
 		suite := experiments.Suite{Seed: *seed, Quick: *quick, Workers: *workers, SimWorkers: *simWorkers}
 		start := time.Now()
-		tb, err := scenario.Run(sp, suite)
+		tb, err := scenario.RunStream(sp, suite, sink)
 		if err != nil {
 			return err
 		}
@@ -352,6 +377,90 @@ func serve(args []string) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(shutdownCtx)
+}
+
+// watch tails a served sweep's NDJSON row stream (GET
+// /sweeps/{id}/stream): rows print to stderr as they land on the
+// server, and the reassembled table — byte-identical to GET
+// /sweeps/{id}/table — prints to stdout once the stream's terminal
+// event arrives. Cached jobs replay their stored rows, so watch works
+// on finished sweeps too.
+func watch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	quiet := fs.Bool("quiet", false, "suppress the per-row stderr feed; print only the final table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: stepctl watch [flags] <server> <job-id>")
+	}
+	base, id := strings.TrimRight(fs.Arg(0), "/"), fs.Arg(1)
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(base + "/sweeps/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	var (
+		tb   *harness.Table
+		seen int
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev service.StreamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("watch: bad stream line: %w", err)
+		}
+		switch ev.Type {
+		case service.EventStart:
+			tb = &harness.Table{ID: ev.SpecID, Title: ev.Title, Header: ev.Header}
+			tb.Rows = make([][]string, ev.RowsTotal)
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "watch: %s (%s): %d rows over %d points\n", ev.SpecID, ev.Key, ev.RowsTotal, ev.PointsTotal)
+			}
+		case service.EventRow:
+			if tb == nil || ev.Index < 0 || ev.Index >= len(tb.Rows) {
+				return fmt.Errorf("watch: row %d outside the announced table", ev.Index)
+			}
+			if tb.Rows[ev.Index] == nil {
+				seen++
+			}
+			tb.Rows[ev.Index] = ev.Cells
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "row %d/%d  %s\n", ev.Index+1, len(tb.Rows), strings.Join(ev.Cells, "  "))
+			}
+		case service.EventProgress:
+			// Point-level progress; rows are the user-visible unit here.
+		case service.EventDone:
+			switch ev.State {
+			case string(service.StateDone), string(service.StateCached):
+				if tb == nil || seen != len(tb.Rows) {
+					return fmt.Errorf("watch: job %s finished but streamed %d rows", id, seen)
+				}
+				tb.Notes = ev.Notes
+				fmt.Println(tb.String())
+				return nil
+			default:
+				return fmt.Errorf("watch: job %s %s: %s", id, ev.State, ev.Error)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	return fmt.Errorf("watch: stream ended without a terminal event")
 }
 
 // exp runs registered paper experiments on the parallel harness.

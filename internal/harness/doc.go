@@ -21,4 +21,9 @@
 //     self-contained DES simulation) run to completion, so failure and
 //     cancellation latency are bounded by one simulation, not the
 //     sweep.
+//   - Streaming observability: Suite.OnPoint fires once per executed
+//     point — success, error, or panic — in completion order, carrying
+//     (index, row, err, duration). Emission order is scheduling-
+//     dependent; only the assembled table is deterministic. Every
+//     firing happens before the point's ParMap call returns.
 package harness

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"step/internal/graph"
 )
@@ -35,12 +36,16 @@ type Suite struct {
 	// simulation) run to completion, mirroring the first-error path, so
 	// cancellation latency is bounded by one simulation, not the sweep.
 	Ctx context.Context
-	// Progress, when non-nil, is invoked once after each sweep point
-	// completes successfully. It may be called concurrently from pool
-	// workers and from nested sweeps, so it must be goroutine-safe
-	// (e.g. an atomic counter). Scenario jobs use it for live
-	// per-point progress; see Spec.PointCount for the matching total.
-	Progress func()
+	// OnPoint, when non-nil, is invoked once for every sweep point that
+	// executes — successes, failures, and panics alike. Points that are
+	// never started (abandoned after a first error or a context cancel)
+	// do not fire. Events arrive in completion order, not index order,
+	// possibly concurrently from pool workers and from nested sweeps, so
+	// the hook must be goroutine-safe; every firing happens before the
+	// point's ParMap call returns. Scenario jobs use it for live
+	// per-point progress and streaming row delivery; see Spec.PointCount
+	// for the matching total of successful firings.
+	OnPoint func(PointEvent)
 	// sem is the shared worker-token pool (see Suite.EnsurePool):
 	// nested sweeps draw from one budget so total concurrency stays
 	// bounded by Workers at any fan-out depth.
@@ -80,6 +85,33 @@ func (s Suite) EnsurePool() Suite {
 		}
 	}
 	return s
+}
+
+// PointEvent describes one completed sweep point, delivered to
+// Suite.OnPoint as the point lands.
+type PointEvent struct {
+	// Index is the point's index within its ParMap call.
+	Index int
+	// Row is fn's result for the point — the value that becomes
+	// out[Index] — or nil when Err is non-nil.
+	Row any
+	// Err is nil on success, fn's error on failure, or a
+	// *PointPanicError when the point panicked.
+	Err error
+	// Duration is the wall-clock time fn spent on the point.
+	Duration time.Duration
+}
+
+// emit fires the suite's OnPoint hook for a completed point.
+func (s Suite) emit(i int, v any, err error, start time.Time) {
+	if s.OnPoint == nil {
+		return
+	}
+	ev := PointEvent{Index: i, Err: err, Duration: time.Since(start)}
+	if err == nil {
+		ev.Row = v
+	}
+	s.OnPoint(ev)
 }
 
 // PointPanicError is the error ParMap returns when a sweep-point
@@ -135,6 +167,10 @@ func callPoint[T any](fn func(int) (T, error), i int) (v T, err error) {
 // other first error. With Workers = 1 (or n = 1) jobs run inline on the
 // calling goroutine and the first error returns immediately, preserving
 // the pre-harness sequential behavior for debugging.
+//
+// Every executed point — including the one that fails a sweep — fires
+// Suite.OnPoint as it lands, out of order; final result collection
+// stays index-ordered regardless.
 func ParMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
@@ -148,14 +184,13 @@ func ParMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
 			if err := s.canceled(); err != nil {
 				return nil, err
 			}
+			start := time.Now()
 			v, err := callPoint(fn, i)
+			s.emit(i, v, err, start)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
-			if s.Progress != nil {
-				s.Progress()
-			}
 		}
 		return out, nil
 	}
@@ -220,15 +255,14 @@ func ParMap[T any](s Suite, n int, fn func(int) (T, error)) ([]T, error) {
 				// More indices remain: offer them a worker.
 				trySpawn()
 			}
+			start := time.Now()
 			v, err := callPoint(fn, i)
+			s.emit(i, v, err, start)
 			if err != nil {
 				fail(err)
 				return
 			}
 			out[i] = v
-			if s.Progress != nil {
-				s.Progress()
-			}
 		}
 	}
 	work()

@@ -145,22 +145,119 @@ func TestParMapSequentialCancelStopsDispatch(t *testing.T) {
 	}
 }
 
-// TestParMapProgress checks the per-point progress callback: it must
-// fire exactly once per completed point at any worker count, including
-// from nested sweeps drawing on the same pool.
-func TestParMapProgress(t *testing.T) {
+// TestParMapOnPoint checks the per-point emission hook: it must fire
+// exactly once per completed point at any worker count, including from
+// nested sweeps drawing on the same pool, and each event must carry the
+// point's index and result value.
+func TestParMapOnPoint(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var done atomic.Int64
-		s := Suite{Workers: workers, Progress: func() { done.Add(1) }}.EnsurePool()
+		var mu sync.Mutex
+		rows := make(map[int]any)
+		s := Suite{Workers: workers, OnPoint: func(ev PointEvent) {
+			done.Add(1)
+			if ev.Err != nil {
+				t.Errorf("workers=%d: unexpected point error: %v", workers, ev.Err)
+			}
+			if ev.Duration < 0 {
+				t.Errorf("workers=%d: negative duration %v", workers, ev.Duration)
+			}
+			mu.Lock()
+			if v, ok := ev.Row.(int); ok && v == ev.Index*10 {
+				rows[ev.Index] = ev.Row
+			}
+			mu.Unlock()
+		}}.EnsurePool()
 		_, err := ParMap(s, 4, func(i int) (int, error) {
-			_, err := ParMap(s, 3, func(j int) (int, error) { return j, nil })
-			return i, err
+			_, err := ParMap(s, 3, func(j int) (int, error) { return j * 10, nil })
+			return i * 10, err
 		})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if got := done.Load(); got != 4+4*3 {
-			t.Fatalf("workers=%d: %d progress calls, want %d", workers, got, 4+4*3)
+			t.Fatalf("workers=%d: %d OnPoint calls, want %d", workers, got, 4+4*3)
+		}
+		mu.Lock()
+		if len(rows) != 4 {
+			t.Fatalf("workers=%d: events carried %d distinct outer rows, want 4", workers, len(rows))
+		}
+		mu.Unlock()
+	}
+}
+
+// TestParMapOnPointError pins the error semantics: a point that returns
+// an error still fires OnPoint (with Err set and a nil Row), while
+// points abandoned after the first error never fire.
+func TestParMapOnPointError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var fired atomic.Int64
+		var sawErr atomic.Int64
+		s := Suite{Workers: workers, OnPoint: func(ev PointEvent) {
+			fired.Add(1)
+			if ev.Err != nil {
+				sawErr.Add(1)
+				if ev.Index != 3 {
+					t.Errorf("workers=%d: error event for point %d, want 3", workers, ev.Index)
+				}
+				if ev.Row != nil {
+					t.Errorf("workers=%d: failed point carries row %v, want nil", workers, ev.Row)
+				}
+			}
+		}}.EnsurePool()
+		release := make(chan struct{})
+		var once sync.Once
+		_, err := ParMap(s, 1000, func(i int) (int, error) {
+			if i == 3 {
+				if workers > 1 {
+					<-release // fail only after a sibling has run
+				}
+				return 0, boom
+			}
+			once.Do(func() { close(release) })
+			time.Sleep(50 * time.Microsecond)
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err=%v, want %v", workers, err, boom)
+		}
+		if sawErr.Load() != 1 {
+			t.Fatalf("workers=%d: %d error events, want exactly 1", workers, sawErr.Load())
+		}
+		if got := fired.Load(); got == 1000 {
+			t.Fatalf("workers=%d: all %d points fired despite early failure", workers, got)
+		}
+	}
+}
+
+// TestParMapOnPointPanic pins the panic semantics: a panicking point
+// fires OnPoint with Err set to the *PointPanicError that ParMap
+// returns.
+func TestParMapOnPointPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var panics atomic.Int64
+		s := Suite{Workers: workers, OnPoint: func(ev PointEvent) {
+			var pe *PointPanicError
+			if errors.As(ev.Err, &pe) {
+				panics.Add(1)
+				if pe.Index != 2 || ev.Index != 2 {
+					t.Errorf("workers=%d: panic event indexes %d/%d, want 2", workers, ev.Index, pe.Index)
+				}
+			}
+		}}.EnsurePool()
+		_, err := ParMap(s, 8, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		var pe *PointPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err %T, want *PointPanicError", workers, err)
+		}
+		if panics.Load() != 1 {
+			t.Fatalf("workers=%d: %d panic events, want 1", workers, panics.Load())
 		}
 	}
 }

@@ -16,8 +16,12 @@ type Table struct {
 	Notes []string
 }
 
-// AddRow appends a formatted row.
-func (t *Table) AddRow(cells ...any) {
+// FormatRow renders cells with the table formatting rules (float64 as
+// %.4g, everything else via fmt.Sprint) without appending them
+// anywhere. Streaming emitters use it so a row rendered at
+// point-completion time is byte-identical to the same row in the
+// finished table.
+func FormatRow(cells ...any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -27,7 +31,12 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = fmt.Sprint(c)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	t.Rows = append(t.Rows, FormatRow(cells...))
 }
 
 // Notef appends a formatted headline note.

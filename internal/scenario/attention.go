@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"step/internal/graph"
 	"step/internal/harness"
@@ -20,8 +21,10 @@ type attnResult struct {
 // runAttention compiles an attention spec: the cross product of models,
 // batch sizes (or a heterogeneous request-group mix), KV-length means,
 // GQA KV-head counts, and parallelization strategies, each point one
-// self-contained decode-attention simulation.
-func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
+// self-contained decode-attention simulation. Plain sweeps stream one
+// row per point; Compare sweeps pivot the strategy axis into columns,
+// so a row streams when the last of its nS strategy points lands.
+func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
 	s = s.EnsurePool()
 	models, err := sp.resolveModels()
 	if err != nil {
@@ -80,9 +83,149 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 	}
 
 	nM, nB, nK, nH, nS := len(models), len(batches), len(kvMeans), len(kvHeads), len(strategies)
-	// Flattened grid, strategy innermost; the row rendering below walks
-	// the same order, so tables are identical at any worker count.
-	results, err := harness.ParMap(s, nM*nB*nK*nH*nS, func(idx int) (attnResult, error) {
+
+	// The column set mirrors the active axes.
+	showModel := nM > 1
+	showBatch := nB > 1 || mixLabel != ""
+	showKVMean := nK > 1
+	showStrategy := nS > 1 && !sp.Compare
+	showKVBytes := showKVMean || hasGQA || mixLabel != ""
+	var header []string
+	if showModel {
+		header = append(header, "Model")
+	}
+	if showBatch {
+		header = append(header, "Batch")
+	}
+	if showKVMean {
+		header = append(header, "KVMeanTokens")
+	}
+	if hasGQA {
+		header = append(header, "KVHeads", "GQARatio", "KVBytesPerToken")
+	}
+	if showStrategy {
+		header = append(header, "Strategy")
+	}
+	if sp.Compare {
+		for _, st := range strategies {
+			header = append(header, strategyColumn(st)+"Cycles")
+		}
+		header = append(header, "Speedup")
+	} else {
+		header = append(header, "Cycles")
+		if showKVBytes {
+			header = append(header, "KVCacheBytes")
+		}
+	}
+	t := &harness.Table{ID: sp.ID, Title: sp.Title, Header: header}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+
+	// labelsFor renders the axis-label cells shared by a (model, batch,
+	// kv-mean, kv-heads) row prefix; coordsFor names the same position.
+	labelsFor := func(mi, bi, ki, hi int) []any {
+		labels := make([]any, 0, len(header))
+		if showModel {
+			labels = append(labels, models[mi].Name)
+		}
+		if showBatch {
+			if mixLabel != "" {
+				labels = append(labels, mixLabel)
+			} else {
+				labels = append(labels, batches[bi])
+			}
+		}
+		if showKVMean {
+			labels = append(labels, meanLabel(kvMeans[ki]))
+		}
+		if hasGQA {
+			gm := models[mi]
+			gm.KVHeads = kvHeads[hi]
+			labels = append(labels, kvHeads[hi],
+				float64(models[mi].QHeads)/float64(kvHeads[hi]), gm.KVBytesPerToken())
+		}
+		return labels
+	}
+	coordsFor := func(mi, bi, ki, hi, si int) map[string]string {
+		coords := map[string]string{"model": models[mi].Name}
+		if mixLabel != "" {
+			coords["mix"] = mixLabel
+		} else {
+			coords["batch"] = fmt.Sprint(batches[bi])
+		}
+		coords["kv_mean"] = fmt.Sprint(meanLabel(kvMeans[ki]))
+		if hasGQA {
+			coords["kv_heads"] = fmt.Sprint(kvHeads[hi])
+		}
+		if si >= 0 && !sp.Compare {
+			coords["strategy"] = strategies[si]
+		}
+		return coords
+	}
+
+	nRows := nM * nB * nK * nH
+	if !sp.Compare {
+		nRows *= nS
+	}
+	ss.start(t, nRows)
+	// Compare mode pivots the nS strategy points of one row into
+	// columns: each landing point parks its result and decrements the
+	// row's countdown; the point that lands last renders the row. The
+	// atomic decrement chain orders every parked write before the read
+	// below, so the render sees all nS results.
+	var (
+		parked    []attnResult
+		remaining []int32
+	)
+	if sp.Compare {
+		parked = make([]attnResult, nM*nB*nK*nH*nS)
+		remaining = make([]int32, nRows)
+		for i := range remaining {
+			remaining[i] = int32(nS)
+		}
+	}
+	run := chainOnPoint(s, func(ev harness.PointEvent) {
+		if ev.Err != nil {
+			return
+		}
+		r := ev.Row.(attnResult)
+		idx := ev.Index
+		si := idx % nS
+		hi := idx / nS % nH
+		ki := idx / (nS * nH) % nK
+		bi := idx / (nS * nH * nK) % nB
+		mi := idx / (nS * nH * nK * nB)
+		if !sp.Compare {
+			row := labelsFor(mi, bi, ki, hi)
+			if showStrategy {
+				row = append(row, strategies[si])
+			}
+			row = append(row, r.cycles)
+			if showKVBytes {
+				row = append(row, r.kvBytes)
+			}
+			ss.row(idx, harness.FormatRow(row...), coordsFor(mi, bi, ki, hi, si), ev.Duration)
+			return
+		}
+		parked[idx] = r
+		rowIdx := idx / nS
+		if atomic.AddInt32(&remaining[rowIdx], -1) != 0 {
+			return
+		}
+		row := labelsFor(mi, bi, ki, hi)
+		for sj := 0; sj < nS; sj++ {
+			row = append(row, parked[rowIdx*nS+sj].cycles)
+		}
+		first := parked[rowIdx*nS].cycles
+		last := parked[rowIdx*nS+nS-1].cycles
+		row = append(row, float64(first)/float64(last))
+		ss.row(rowIdx, harness.FormatRow(row...), coordsFor(mi, bi, ki, hi, -1), ev.Duration)
+	})
+
+	// Flattened grid, strategy innermost; row indices walk the same
+	// order, so tables are identical at any worker count.
+	results, err := harness.ParMap(run, nM*nB*nK*nH*nS, func(idx int) (attnResult, error) {
 		si := idx % nS
 		hi := idx / nS % nH
 		ki := idx / (nS * nH) % nK
@@ -133,96 +276,7 @@ func runAttention(sp Spec, s harness.Suite) (*harness.Table, error) {
 	at := func(mi, bi, ki, hi, si int) attnResult {
 		return results[(((mi*nB+bi)*nK+ki)*nH+hi)*nS+si]
 	}
-
-	// The column set mirrors the active axes.
-	showModel := nM > 1
-	showBatch := nB > 1 || mixLabel != ""
-	showKVMean := nK > 1
-	showStrategy := nS > 1 && !sp.Compare
-	showKVBytes := showKVMean || hasGQA || mixLabel != ""
-	var header []string
-	if showModel {
-		header = append(header, "Model")
-	}
-	if showBatch {
-		header = append(header, "Batch")
-	}
-	if showKVMean {
-		header = append(header, "KVMeanTokens")
-	}
-	if hasGQA {
-		header = append(header, "KVHeads", "GQARatio", "KVBytesPerToken")
-	}
-	if showStrategy {
-		header = append(header, "Strategy")
-	}
-	if sp.Compare {
-		for _, st := range strategies {
-			header = append(header, strategyColumn(st)+"Cycles")
-		}
-		header = append(header, "Speedup")
-	} else {
-		header = append(header, "Cycles")
-		if showKVBytes {
-			header = append(header, "KVCacheBytes")
-		}
-	}
-	t := &harness.Table{ID: sp.ID, Title: sp.Title, Header: header}
-	if err := overrideHeader(sp, t); err != nil {
-		return nil, err
-	}
-
-	for mi, model := range models {
-		for bi, b := range batches {
-			for ki, kv := range kvMeans {
-				for hi, kh := range kvHeads {
-					labels := make([]any, 0, len(header))
-					if showModel {
-						labels = append(labels, model.Name)
-					}
-					if showBatch {
-						if mixLabel != "" {
-							labels = append(labels, mixLabel)
-						} else {
-							labels = append(labels, b)
-						}
-					}
-					if showKVMean {
-						labels = append(labels, meanLabel(kv))
-					}
-					if hasGQA {
-						gm := model
-						gm.KVHeads = kh
-						labels = append(labels, kh,
-							float64(model.QHeads)/float64(kh), gm.KVBytesPerToken())
-					}
-					if sp.Compare {
-						row := labels
-						for si := range strategies {
-							row = append(row, at(mi, bi, ki, hi, si).cycles)
-						}
-						first := at(mi, bi, ki, hi, 0).cycles
-						last := at(mi, bi, ki, hi, nS-1).cycles
-						row = append(row, float64(first)/float64(last))
-						t.AddRow(row...)
-						continue
-					}
-					for si, st := range strategies {
-						r := at(mi, bi, ki, hi, si)
-						row := append([]any(nil), labels...)
-						if showStrategy {
-							row = append(row, st)
-						}
-						row = append(row, r.cycles)
-						if showKVBytes {
-							row = append(row, r.kvBytes)
-						}
-						t.AddRow(row...)
-					}
-				}
-			}
-		}
-	}
+	t.Rows = ss.take()
 
 	// Computed headline notes for the beyond-the-paper axes: endpoint
 	// ratios at the first batch/KV-mean/strategy combo.

@@ -228,8 +228,8 @@ func (sp Spec) Hash() (string, error) {
 
 // PointCount returns the number of sweep points Run will execute for a
 // valid spec under the given quick setting — exactly the number of
-// Suite.Progress callbacks a full run fires, so services can report
-// done/total progress. Every harness job counts as a point: the leaf
+// successful Suite.OnPoint events a full run fires, so services can
+// report done/total progress. Every harness job counts as a point: the leaf
 // simulations, the per-model tiling sub-sweeps, and each cell of a
 // declared Workers x SimWorkers verification matrix re-runs the grid.
 func (sp Spec) PointCount(quick bool) int {

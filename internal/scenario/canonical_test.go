@@ -198,7 +198,7 @@ func TestMoETilingRejectsSkew(t *testing.T) {
 }
 
 // TestPointCountMatchesProgress: PointCount must equal the number of
-// Progress callbacks an actual run fires, per kind and with a
+// successful OnPoint events an actual run fires, per kind and with a
 // verification matrix.
 func TestPointCountMatchesProgress(t *testing.T) {
 	decoder, err := Parse([]byte(`{
@@ -214,12 +214,16 @@ func TestPointCountMatchesProgress(t *testing.T) {
 		t.Run(sp.ID, func(t *testing.T) {
 			t.Parallel()
 			var done atomic.Int64
-			s := harness.Suite{Seed: 7, Quick: true, Progress: func() { done.Add(1) }}
+			s := harness.Suite{Seed: 7, Quick: true, OnPoint: func(ev harness.PointEvent) {
+				if ev.Err == nil {
+					done.Add(1)
+				}
+			}}
 			if _, err := Run(sp, s); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := int(done.Load()), sp.PointCount(true); got != want {
-				t.Errorf("%s: %d progress callbacks, PointCount says %d", sp.ID, got, want)
+				t.Errorf("%s: %d point events, PointCount says %d", sp.ID, got, want)
 			}
 		})
 	}
@@ -231,7 +235,7 @@ func TestRunHonorsCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var done atomic.Int64
-	s := harness.Suite{Seed: 7, Quick: true, Ctx: ctx, Progress: func() { done.Add(1) }}
+	s := harness.Suite{Seed: 7, Quick: true, Ctx: ctx, OnPoint: func(harness.PointEvent) { done.Add(1) }}
 	if _, err := Run(GQARatio(), s); err == nil {
 		t.Fatal("canceled context did not fail the run")
 	}

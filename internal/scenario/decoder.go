@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"strconv"
+
 	"step/internal/harness"
 	"step/internal/trace"
 	"step/internal/workloads"
@@ -16,8 +18,9 @@ type decoderResult struct {
 
 // runDecoder compiles a decoder spec: models x batch sizes x schedules
 // through workloads.RunDecoder, reporting end-to-end latency, on-chip
-// footprint, off-chip traffic, and allocated compute.
-func runDecoder(sp Spec, s harness.Suite) (*harness.Table, error) {
+// footprint, off-chip traffic, and allocated compute. One point is one
+// table row, rendered and streamed as it lands.
+func runDecoder(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
 	s = s.EnsurePool()
 	models, err := sp.resolveModels()
 	if err != nil {
@@ -64,7 +67,45 @@ func runDecoder(sp Spec, s harness.Suite) (*harness.Table, error) {
 	}
 
 	nM, nB, nS := len(models), len(batches), len(schedules)
-	results, err := harness.ParMap(s, nM*nB*nS, func(idx int) (decoderResult, error) {
+	showModel := nM > 1
+	showBatch := nB > 1
+	var header []string
+	if showModel {
+		header = append(header, "Model")
+	}
+	if showBatch {
+		header = append(header, "Batch")
+	}
+	header = append(header, "Schedule", "CyclesTotal", "OnchipBytes", "TrafficBytes", "AllocComputeFLOPs/cyc")
+	t := &harness.Table{ID: sp.ID, Title: sp.Title, Header: header}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+	ss.start(t, nM*nB*nS)
+	run := chainOnPoint(s, func(ev harness.PointEvent) {
+		if ev.Err != nil {
+			return
+		}
+		r := ev.Row.(decoderResult)
+		idx := ev.Index
+		si := idx % nS
+		bi := idx / nS % nB
+		mi := idx / (nS * nB)
+		row := make([]any, 0, len(header))
+		if showModel {
+			row = append(row, models[mi].Name)
+		}
+		if showBatch {
+			row = append(row, batches[bi])
+		}
+		row = append(row, schedules[si], r.cycles, r.onchip, r.traffic, r.allocBW)
+		ss.row(idx, harness.FormatRow(row...), map[string]string{
+			"model":    models[mi].Name,
+			"batch":    strconv.Itoa(batches[bi]),
+			"schedule": schedules[si],
+		}, ev.Duration)
+	})
+	results, err := harness.ParMap(run, nM*nB*nS, func(idx int) (decoderResult, error) {
 		si := idx % nS
 		bi := idx / nS % nB
 		mi := idx / (nS * nB)
@@ -108,36 +149,10 @@ func runDecoder(sp Spec, s harness.Suite) (*harness.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	showModel := nM > 1
-	showBatch := nB > 1
-	var header []string
-	if showModel {
-		header = append(header, "Model")
-	}
-	if showBatch {
-		header = append(header, "Batch")
-	}
-	header = append(header, "Schedule", "CyclesTotal", "OnchipBytes", "TrafficBytes", "AllocComputeFLOPs/cyc")
-	t := &harness.Table{ID: sp.ID, Title: sp.Title, Header: header}
-	if err := overrideHeader(sp, t); err != nil {
-		return nil, err
-	}
+	t.Rows = ss.take()
 	at := func(mi, bi, si int) decoderResult { return results[(mi*nB+bi)*nS+si] }
 	for mi, model := range models {
 		for bi, b := range batches {
-			for si, name := range schedules {
-				r := at(mi, bi, si)
-				row := make([]any, 0, len(header))
-				if showModel {
-					row = append(row, model.Name)
-				}
-				if showBatch {
-					row = append(row, b)
-				}
-				row = append(row, name, r.cycles, r.onchip, r.traffic, r.allocBW)
-				t.AddRow(row...)
-			}
 			if nS > 1 {
 				first, last := at(mi, bi, 0), at(mi, bi, nS-1)
 				t.Notef("%s b=%d: %s vs %s speedup %.2fx, onchip %.2fx",

@@ -29,4 +29,11 @@
 //   - Specs are plain values: Run does not mutate its Spec argument, so
 //     a spec loaded once may be submitted concurrently (the service
 //     layer relies on this).
+//   - Streaming equals batch: RunStream emits every table row through a
+//     Sink as its sweep point completes (out of order, carrying the
+//     row's final index and axis coordinates), and Run is RunStream
+//     with an empty sink — rows are rendered once, in the hook, so the
+//     streamed cells and the finished table are identical bytes by
+//     construction. Under a WorkersAxis/SimWorkersAxis matrix only the
+//     first cell streams; the rest verify silently.
 package scenario

@@ -38,6 +38,12 @@ func FuzzSpecJSON(f *testing.F) {
 		"Hidden": 64, "Inter": 64, "NumExperts": 4, "TopK": 2, "QHeads": 4,
 		"KVHeads": 2, "HeadDim": 8, "Layers": 2, "WeightStrip": 32}],
 		"batch": 300, "tiles": [8]}`))
+	// Program kind: the committed pipeline IR embedded inline (the form
+	// Parse accepts; program_file is load-time only) with a FIFO-depth
+	// axis, so the fuzzer explores the program spec surface too.
+	if ir, err := os.ReadFile(filepath.Join("..", "..", "examples", "programs", "pipeline.json")); err == nil {
+		f.Add([]byte(`{"id": "fz-prog", "kind": "program", "depths": [2, 8], "program": ` + string(ir) + `}`))
+	}
 	f.Add([]byte(`{"models": [""], "kind": ""}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`[]`))

@@ -3,6 +3,7 @@ package scenario
 import (
 	"crypto/sha256"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"step/internal/graph"
@@ -139,8 +140,9 @@ type programPoint struct {
 }
 
 // runProgram compiles the embedded IR once and instantiates it fresh
-// per depth-axis point.
-func runProgram(sp Spec, s harness.Suite) (*harness.Table, error) {
+// per depth-axis point. One point is one table row, rendered and
+// streamed as it lands.
+func runProgram(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
 	s = s.EnsurePool()
 	prog, err := sp.compileProgram()
 	if err != nil {
@@ -150,7 +152,26 @@ func runProgram(sp Spec, s harness.Suite) (*harness.Table, error) {
 	if len(depths) == 0 {
 		depths = []int{defaultChannelDepth}
 	}
-	results, err := harness.ParMap(s, len(depths), func(i int) (programPoint, error) {
+	t := &harness.Table{
+		ID:     sp.ID,
+		Title:  sp.Title,
+		Header: []string{"Depth", "Cycles", "TrafficBytes", "PeakOnchipBytes", "FLOPs"},
+	}
+	if err := overrideHeader(sp, t); err != nil {
+		return nil, err
+	}
+	ss.start(t, len(depths))
+	run := chainOnPoint(s, func(ev harness.PointEvent) {
+		if ev.Err != nil {
+			return
+		}
+		r := ev.Row.(programPoint)
+		d := depths[ev.Index]
+		ss.row(ev.Index,
+			harness.FormatRow(d, r.cycles, r.traffic, r.onchip, r.flops),
+			map[string]string{"depth": strconv.Itoa(d)}, ev.Duration)
+	})
+	_, err = harness.ParMap(run, len(depths), func(i int) (programPoint, error) {
 		sess, err := prog.Run(
 			graph.WithConfig(s.GraphConfig()),
 			graph.WithSeed(s.Seed),
@@ -170,18 +191,7 @@ func runProgram(sp Spec, s harness.Suite) (*harness.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &harness.Table{
-		ID:     sp.ID,
-		Title:  sp.Title,
-		Header: []string{"Depth", "Cycles", "TrafficBytes", "PeakOnchipBytes", "FLOPs"},
-	}
-	if err := overrideHeader(sp, t); err != nil {
-		return nil, err
-	}
-	for i, d := range depths {
-		r := results[i]
-		t.AddRow(d, r.cycles, r.traffic, r.onchip, r.flops)
-	}
+	t.Rows = ss.take()
 	hash, err := prog.Hash()
 	if err != nil {
 		return nil, err

@@ -129,7 +129,7 @@ func TestProgramSpecCanonicalHash(t *testing.T) {
 func TestProgramKindRun(t *testing.T) {
 	sp := programSpec(t)
 	var points atomic.Int64
-	s := harness.Suite{Seed: 7, Workers: 2, Progress: func() { points.Add(1) }}
+	s := harness.Suite{Seed: 7, Workers: 2, OnPoint: func(harness.PointEvent) { points.Add(1) }}
 	tb, err := Run(sp, s)
 	if err != nil {
 		t.Fatal(err)

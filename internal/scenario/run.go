@@ -12,11 +12,22 @@ import (
 // and the rendered tables must be byte-identical — the determinism
 // guarantee as a declarative check — with the matrix recorded in a note.
 func Run(sp Spec, s harness.Suite) (*harness.Table, error) {
+	return RunStream(sp, s, Sink{})
+}
+
+// RunStream is Run with live row delivery: rows are pushed to sink as
+// their simulations complete, out of index order, and the returned
+// table is assembled from those same rendered rows — reassembling the
+// stream in index order reproduces the batch artifact byte for byte.
+// Under a verification matrix only the first cell streams; the
+// remaining cells re-run silently and are compared as usual.
+func RunStream(sp Spec, s harness.Suite, sink Sink) (*harness.Table, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	points := sp.PointCount(s.Quick)
 	if len(sp.WorkersAxis) == 0 && len(sp.SimWorkersAxis) == 0 {
-		return runKind(sp, s)
+		return runKind(sp, s, newStreamSink(sink, points))
 	}
 	wAxis, swAxis := sp.WorkersAxis, sp.SimWorkersAxis
 	if len(wAxis) == 0 {
@@ -41,7 +52,11 @@ func Run(sp Spec, s harness.Suite) (*harness.Table, error) {
 			// one sized to exactly w workers.
 			sub := s
 			sub.Workers, sub.SimWorkers = w, sw
-			tb, err := runKind(sp, sub)
+			cell := Sink{}
+			if base == nil {
+				cell = sink // only the first cell streams rows
+			}
+			tb, err := runKind(sp, sub, newStreamSink(cell, points))
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s: Workers=%d SimWorkers=%d: %w", sp.ID, w, sw, err)
 			}
@@ -60,16 +75,16 @@ func Run(sp Spec, s harness.Suite) (*harness.Table, error) {
 }
 
 // runKind dispatches one sweep execution to the kind's compiler.
-func runKind(sp Spec, s harness.Suite) (*harness.Table, error) {
+func runKind(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
 	switch sp.Kind {
 	case KindMoETiling:
-		return runMoETiling(sp, s)
+		return runMoETiling(sp, s, ss)
 	case KindAttention:
-		return runAttention(sp, s)
+		return runAttention(sp, s, ss)
 	case KindDecoder:
-		return runDecoder(sp, s)
+		return runDecoder(sp, s, ss)
 	case KindProgram:
-		return runProgram(sp, s)
+		return runProgram(sp, s, ss)
 	}
 	return nil, fmt.Errorf("scenario %s: unknown kind %q", sp.ID, sp.Kind)
 }

@@ -1,0 +1,185 @@
+package scenario
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"step/internal/harness"
+)
+
+// collectStream runs a spec through RunStream and returns the start
+// event, the rows in arrival order, and the finished table.
+func collectStream(t *testing.T, sp Spec, s harness.Suite) (StreamStart, []PointResult, *harness.Table) {
+	t.Helper()
+	var (
+		mu     sync.Mutex
+		starts []StreamStart
+		rows   []PointResult
+	)
+	tb, err := RunStream(sp, s, Sink{
+		Start: func(st StreamStart) {
+			mu.Lock()
+			starts = append(starts, st)
+			mu.Unlock()
+		},
+		Row: func(p PointResult) {
+			mu.Lock()
+			rows = append(rows, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", sp.ID, err)
+	}
+	if len(starts) != 1 {
+		t.Fatalf("%s: %d start events, want 1", sp.ID, len(starts))
+	}
+	return starts[0], rows, tb
+}
+
+// reassemble builds a table from a stream, placing rows by index.
+func reassemble(t *testing.T, start StreamStart, rows []PointResult, notes []string) *harness.Table {
+	t.Helper()
+	tb := &harness.Table{ID: start.TableID, Title: start.Title, Header: start.Header, Notes: notes}
+	tb.Rows = make([][]string, start.Rows)
+	for _, p := range rows {
+		if p.Index < 0 || p.Index >= start.Rows {
+			t.Fatalf("row index %d outside [0,%d)", p.Index, start.Rows)
+		}
+		if tb.Rows[p.Index] != nil {
+			t.Fatalf("row %d emitted twice", p.Index)
+		}
+		if p.Total != start.Rows {
+			t.Fatalf("row %d says total=%d, start says %d", p.Index, p.Total, start.Rows)
+		}
+		tb.Rows[p.Index] = p.Cells
+	}
+	for i, r := range tb.Rows {
+		if r == nil {
+			t.Fatalf("row %d never emitted", i)
+		}
+	}
+	return tb
+}
+
+// TestStreamReassemblesGolden is the acceptance gate for the streaming
+// pipeline: for every canned spec, the row stream reassembled in index
+// order must be byte-identical to the committed golden artifact (and
+// the CSV to the batch CSV), under a parallel worker pool that delivers
+// rows out of order.
+func TestStreamReassemblesGolden(t *testing.T) {
+	for _, sp := range Builtin() {
+		sp := sp
+		t.Run(sp.ID, func(t *testing.T) {
+			t.Parallel()
+			s := goldenSuite()
+			s.Workers = 8
+			start, rows, tb := collectStream(t, sp, s)
+			got := reassemble(t, start, rows, tb.Notes)
+			if got.String() != tb.String() {
+				t.Errorf("reassembled table diverges from returned table:\n%s", diffLines(tb.String(), got.String()))
+			}
+			if got.CSV() != tb.CSV() {
+				t.Errorf("reassembled CSV diverges from returned CSV")
+			}
+			want, err := os.ReadFile(goldenPath(sp.ID))
+			if err != nil {
+				t.Fatalf("no golden file for %s: %v", sp.ID, err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("reassembled table diverges from golden artifact:\n%s", diffLines(string(want), got.String()))
+			}
+		})
+	}
+}
+
+// TestStreamWorkerMatrix re-runs one multi-row spec across Workers x
+// SimWorkers settings: every cell must stream a complete, identical
+// row sequence.
+func TestStreamWorkerMatrix(t *testing.T) {
+	sp := GQARatio()
+	var base *harness.Table
+	for _, w := range []int{1, 8} {
+		for _, sw := range []int{1, 8} {
+			s := goldenSuite()
+			s.Workers, s.SimWorkers = w, sw
+			start, rows, tb := collectStream(t, sp, s)
+			got := reassemble(t, start, rows, tb.Notes)
+			if got.String() != tb.String() {
+				t.Fatalf("Workers=%d SimWorkers=%d: reassembly diverges", w, sw)
+			}
+			if base == nil {
+				base = got
+				continue
+			}
+			if got.String() != base.String() || got.CSV() != base.CSV() {
+				t.Fatalf("Workers=%d SimWorkers=%d: stream not byte-identical to base cell", w, sw)
+			}
+		}
+	}
+}
+
+// TestStreamStartShape pins the start event: final header (spec
+// overrides applied), row count matching the finished table, and the
+// harness point total matching PointCount.
+func TestStreamStartShape(t *testing.T) {
+	for _, sp := range []Spec{Fig9(), Fig15(), GQARatio(), MixedServing()} {
+		start, rows, tb := collectStream(t, sp, goldenSuite())
+		if start.TableID != tb.ID || start.Title != tb.Title {
+			t.Errorf("%s: start identity %q/%q, table %q/%q", sp.ID, start.TableID, start.Title, tb.ID, tb.Title)
+		}
+		if len(start.Header) != len(tb.Header) {
+			t.Errorf("%s: start header %v, table header %v", sp.ID, start.Header, tb.Header)
+		}
+		if start.Rows != len(tb.Rows) {
+			t.Errorf("%s: start declares %d rows, table has %d", sp.ID, start.Rows, len(tb.Rows))
+		}
+		if want := sp.PointCount(true); start.Points != want {
+			t.Errorf("%s: start declares %d points, PointCount says %d", sp.ID, start.Points, want)
+		}
+		if len(rows) != start.Rows {
+			t.Errorf("%s: %d row events, want %d", sp.ID, len(rows), start.Rows)
+		}
+	}
+}
+
+// TestStreamCoords checks that streamed rows carry their axis
+// coordinates for each kind.
+func TestStreamCoords(t *testing.T) {
+	check := func(sp Spec, keys ...string) {
+		t.Helper()
+		_, rows, _ := collectStream(t, sp, goldenSuite())
+		for _, p := range rows {
+			for _, k := range keys {
+				if p.Coords[k] == "" {
+					t.Fatalf("%s: row %d missing coord %q (got %v)", sp.ID, p.Index, k, p.Coords)
+				}
+			}
+		}
+	}
+	check(Fig9(), "model", "schedule")     // moe-tiling
+	check(GQARatio(), "model", "kv_heads") // attention
+	decoder, err := Parse([]byte(`{
+		"id": "st-dec", "kind": "decoder", "models": ["qwen"], "scale": 8,
+		"batch": 8, "strategies": ["static:16", "dynamic"], "sample_layers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(decoder, "model", "batch", "schedule")
+}
+
+// TestStreamMatrixStreamsOnce: under a declared verification matrix
+// only the first cell streams — row and start events must not repeat
+// per cell.
+func TestStreamMatrixStreamsOnce(t *testing.T) {
+	sp := GQARatio()
+	sp.WorkersAxis = []int{1, 2}
+	start, rows, tb := collectStream(t, sp, goldenSuite())
+	if len(rows) != len(tb.Rows) {
+		t.Fatalf("%d row events across a 2-cell matrix, want %d (first cell only)", len(rows), len(tb.Rows))
+	}
+	if want := sp.PointCount(true); start.Points != want {
+		t.Fatalf("start declares %d points, PointCount (all cells) says %d", start.Points, want)
+	}
+}

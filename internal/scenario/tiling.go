@@ -76,8 +76,11 @@ func TilingSweep(s harness.Suite, model workloads.ModelConfig, batch int, tiles 
 }
 
 // runMoETiling compiles a moe-tiling spec: static tiles plus the
-// dynamic point per model, rendered with Pareto headline notes.
-func runMoETiling(sp Spec, s harness.Suite) (*harness.Table, error) {
+// dynamic point per model, rendered with Pareto headline notes. Each
+// inner tiling point is one table row — row i*(tiles+1)+j for point j
+// of model i, the dynamic point last — streamed as its simulation
+// lands; the outer per-model jobs carry no row of their own.
+func runMoETiling(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
 	s = s.EnsurePool()
 	t := &harness.Table{
 		ID:     sp.ID,
@@ -99,31 +102,43 @@ func runMoETiling(sp Spec, s harness.Suite) (*harness.Table, error) {
 	if sp.DynamicCap > 0 {
 		dynCap = sp.DynamicCap
 	}
+	rowsPerModel := len(tiles) + 1
+	ss.start(t, len(models)*rowsPerModel)
 	type sweep struct {
 		static []TilingPoint
 		dyn    TilingPoint
 	}
-	// Sweep all models concurrently; rows are rendered afterwards in
-	// model order so the table is identical at any worker count.
+	// Sweep all models concurrently; each model's sub-sweep streams its
+	// rows through the chained per-point hook, and the final table is
+	// assembled in model order so it is identical at any worker count.
 	sweeps, err := harness.ParMap(s, len(models), func(i int) (sweep, error) {
-		static, dyn, err := TilingSweep(s, models[i], sp.Batch, tiles, dynCap)
+		inner := chainOnPoint(s, func(ev harness.PointEvent) {
+			if ev.Err != nil {
+				return
+			}
+			p := ev.Row.(TilingPoint)
+			ss.row(i*rowsPerModel+ev.Index,
+				harness.FormatRow(models[i].Name, p.Label, p.Cycles, p.Onchip, p.Traffic),
+				map[string]string{"model": models[i].Name, "schedule": p.Label},
+				ev.Duration)
+		})
+		static, dyn, err := TilingSweep(inner, models[i], sp.Batch, tiles, dynCap)
 		return sweep{static, dyn}, err
 	})
 	if err != nil {
 		return nil, err
 	}
+	t.Rows = ss.take()
 	for i, model := range models {
 		static, dyn := sweeps[i].static, sweeps[i].dyn
 		var base []sched.Point
 		for _, p := range static {
-			t.AddRow(model.Name, p.Label, p.Cycles, p.Onchip, p.Traffic)
 			y := float64(p.Cycles)
 			if sp.UseTraffic {
 				y = float64(p.Traffic)
 			}
 			base = append(base, sched.Point{Label: p.Label, Cycles: y, Mem: float64(p.Onchip)})
 		}
-		t.AddRow(model.Name, dyn.Label, dyn.Cycles, dyn.Onchip, dyn.Traffic)
 		y := float64(dyn.Cycles)
 		if sp.UseTraffic {
 			y = float64(dyn.Traffic)

@@ -12,6 +12,31 @@
 // already in flight do not re-simulate: they wait for the running job
 // and read its stored result (single-flight).
 //
+// # Streaming
+//
+// GET /sweeps/{id}/stream serves a job's results as they land: chunked
+// NDJSON, one StreamEvent per line. A successful stream is
+//
+//	{"type":"start", ...}        table identity and shape: spec/job ids,
+//	                             title, header, rows_total, points_total
+//	{"type":"row", "index":i, "cells":[...], "coords":{...}}
+//	                             one rendered table row; rows arrive in
+//	                             completion order, index is the row's
+//	                             final position in the table
+//	{"type":"progress", "points_done":n}
+//	                             per-point sweep progress
+//	{"type":"done", "state":"done|cached", "notes":[...], "elapsed_ms":e}
+//	                             terminal; failed and canceled jobs end
+//	                             with state failed|canceled and an error
+//
+// Rows reassembled in index order are byte-identical to the stored
+// table (`stepctl watch` does exactly this). Every subscriber of a job
+// observes the same event sequence: events buffer per job, late
+// subscribers replay the buffered prefix and then follow live. Jobs
+// that finished without broadcasting rows — cached submissions,
+// single-flight followers — synthesize their replay from the store's
+// row journal (or, for journal-less entries, the stored CSV).
+//
 // Invariants:
 //
 //   - One worker pool: every executor draws simulation parallelism

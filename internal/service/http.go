@@ -29,6 +29,10 @@ import (
 //	GET  /sweeps                list jobs in submission order
 //	GET  /sweeps/{id}           job status + per-point progress
 //	                            (?wait=<duration> blocks for completion)
+//	GET  /sweeps/{id}/stream    live NDJSON event stream: start, then
+//	                            row/progress events as points land, then
+//	                            a terminal done event (see StreamEvent);
+//	                            late subscribers replay then follow
 //	GET  /sweeps/{id}/table     result table; ?format=txt|csv
 //	                            (?wait=<duration> as above)
 //	POST /sweeps/{id}/cancel    cancel a queued or running job
@@ -45,6 +49,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /programs", s.handleSubmitProgram)
 	mux.HandleFunc("GET /sweeps", s.handleList)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /sweeps/{id}/table", s.handleTable)
 	mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /specs", s.handleSpecs)

@@ -92,10 +92,12 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   atomic.Int64 // completed sweep points
+	bc     *broadcast   // per-job stream buffer (see stream.go)
 
 	mu       sync.Mutex
 	state    State
 	err      string
+	notes    []string // table notes, set by execute before finishing
 	created  time.Time
 	started  time.Time
 	finished chan struct{} // closed exactly once on any terminal state
@@ -121,15 +123,27 @@ func (j *job) snapshot() Job {
 // ignored (e.g. a cancellation racing the executor's own completion).
 // The job's context is released here, so every terminal path — fast
 // cached answers, queue overflow, executor completion — frees it.
+// The terminal stream event is published after the lock drops, closing
+// the job's broadcast so subscribers drain and disconnect.
 func (j *job) finish(s State, errMsg string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.state, j.err, j.doneAt = s, errMsg, time.Now()
 	close(j.finished)
 	j.cancel()
+	notes := j.notes
+	var elapsed int64
+	if !j.started.IsZero() {
+		elapsed = j.doneAt.Sub(j.started).Milliseconds()
+	}
+	j.mu.Unlock()
+	j.bc.publish(StreamEvent{
+		Type: EventDone, State: string(s),
+		Notes: notes, Error: errMsg, ElapsedMS: elapsed,
+	})
 }
 
 // Service is the sweep job queue.
@@ -226,6 +240,7 @@ func (s *Service) Submit(sp scenario.Spec, seed uint64, quick bool) (Job, error)
 		key: key, spec: sp, seed: seed, quick: quick,
 		total: sp.PointCount(quick),
 		ctx:   ctx, cancel: cancel,
+		bc:       newBroadcast(),
 		created:  time.Now(),
 		state:    StateQueued,
 		finished: make(chan struct{}),
@@ -364,7 +379,11 @@ func (s *Service) pruneLocked() {
 	s.order = keep
 }
 
-// execute runs the sweep for a claimed key and stores the result.
+// execute runs the sweep for a claimed key, streaming rows into the
+// job's broadcast and the store's journal as they land. On success the
+// journal commits into the cache entry; journaling failures (disk
+// trouble mid-run) degrade to a plain Put of the finished artifacts,
+// never to a failed sweep.
 func (s *Service) execute(j *job) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -378,10 +397,58 @@ func (s *Service) execute(j *job) {
 	suite.Seed = j.seed
 	suite.Quick = j.quick
 	suite.Ctx = j.ctx
-	suite.Progress = func() { j.done.Add(1) }
+	suite.OnPoint = func(ev harness.PointEvent) {
+		if ev.Err == nil {
+			j.bc.publish(StreamEvent{Type: EventProgress, PointsDone: int(j.done.Add(1))})
+		}
+	}
+
+	jn, jerr := s.st.BeginJournal(j.key)
+	if jerr != nil {
+		jn = nil
+	}
+	var jmu sync.Mutex // guards jn against the concurrent record/commit/abort below
+	record := func(ev StreamEvent) {
+		jmu.Lock()
+		defer jmu.Unlock()
+		if jn == nil {
+			return
+		}
+		if err := jn.Append(journalRecord(ev)); err != nil {
+			jn.Abort()
+			jn = nil
+		}
+	}
+	abort := func() {
+		jmu.Lock()
+		defer jmu.Unlock()
+		if jn != nil {
+			jn.Abort()
+			jn = nil
+		}
+	}
+
+	sink := scenario.Sink{
+		Start: func(st scenario.StreamStart) {
+			ev := StreamEvent{
+				Type: EventStart, JobID: j.id, SpecID: j.spec.ID, Key: j.key,
+				Title: st.Title, Header: st.Header,
+				RowsTotal: st.Rows, PointsTotal: st.Points,
+			}
+			record(ev)
+			j.bc.publish(ev)
+		},
+		Row: func(p scenario.PointResult) {
+			ev := StreamEvent{Type: EventRow, Index: p.Index, Cells: p.Cells, Coords: p.Coords}
+			record(ev)
+			j.bc.publish(ev)
+		},
+	}
+
 	start := time.Now()
-	tb, err := scenario.Run(j.spec, suite)
+	tb, err := scenario.RunStream(j.spec, suite, sink)
 	if err != nil {
+		abort()
 		if j.ctx.Err() != nil {
 			j.finish(StateCanceled, context.Cause(j.ctx).Error())
 		} else {
@@ -389,14 +456,32 @@ func (s *Service) execute(j *job) {
 		}
 		return
 	}
+	j.mu.Lock()
+	j.notes = tb.Notes
+	j.mu.Unlock()
 	entry, err := store.NewEntry(j.spec, j.seed, j.quick, tb.String(), tb.CSV(), s.opts.GitDescribe, time.Since(start))
 	if err != nil {
+		abort()
 		j.finish(StateFailed, err.Error())
 		return
 	}
-	if err := s.st.Put(entry); err != nil {
-		j.finish(StateFailed, err.Error())
-		return
+	record(StreamEvent{Type: EventDone, Notes: tb.Notes})
+	stored := false
+	jmu.Lock()
+	if jn != nil {
+		if err := s.st.CommitJournal(jn, entry); err != nil {
+			jn.Abort()
+		} else {
+			stored = true
+		}
+		jn = nil
+	}
+	jmu.Unlock()
+	if !stored {
+		if err := s.st.Put(entry); err != nil {
+			j.finish(StateFailed, err.Error())
+			return
+		}
 	}
 	j.finish(StateDone, "")
 }

@@ -10,11 +10,24 @@
 //	<key>/table.txt      rendered console table (Table.String bytes)
 //	<key>/table.csv      RFC 4180 CSV (Table.CSV bytes)
 //	<key>/manifest.json  canonical spec, seed/quick, git describe, timings
+//	<key>/rows.ndjson    row journal (streaming writers only): start
+//	                     record, one row per line in completion order,
+//	                     terminal done record — see JournalRecord
+//
+// Entries are written two ways: Put renders a finished table in one
+// shot (the CLI's batch path), and BeginJournal/Append/CommitJournal
+// grows a journal row by row inside the entry's unpublished temp
+// directory as sweep points land (the service's streaming path), then
+// publishes journal and artifacts together. ReadRows replays a
+// committed journal; RecoverJournals sweeps the temp directories of
+// crashed writers (Open does this with a one-hour grace).
 //
 // Invariants:
 //
 //   - Atomic publication: entries are written to a temp directory and
-//     renamed into place, so readers never observe a partial entry.
+//     renamed into place, so readers never observe a partial entry. A
+//     journal that never commits — canceled sweep, crashed process,
+//     failed append — publishes nothing at its key.
 //   - First writer wins: concurrent writers of the same key converge
 //     on one directory; later writers discard their identical copy
 //     (sound because equal keys imply equal bytes).

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// journalFile is the append-only per-entry row journal: one JSON
+// record per line, written into the entry's temp directory as sweep
+// points land and published with the finished entry.
+const journalFile = "rows.ndjson"
+
+// journalMaxAge is how old a temp directory must be before Open's
+// recovery sweep discards it as the leftover of a crashed run.
+const journalMaxAge = time.Hour
+
+// JournalRecord is one line of an entry's rows.ndjson journal. A
+// journal is a start record, one row record per table row (in
+// completion order, not index order), and a terminal done record —
+// enough to replay the sweep's stream or rebuild its table without
+// parsing the rendered artifacts. Index is meaningful on row records
+// only.
+type JournalRecord struct {
+	Type string `json:"type"` // "start" | "row" | "done"
+
+	// start
+	SpecID string   `json:"spec_id,omitempty"`
+	Title  string   `json:"title,omitempty"`
+	Header []string `json:"header,omitempty"`
+	Rows   int      `json:"rows,omitempty"`
+	Points int      `json:"points,omitempty"`
+
+	// row
+	Index  int               `json:"index"`
+	Cells  []string          `json:"cells,omitempty"`
+	Coords map[string]string `json:"coords,omitempty"`
+
+	// done
+	Notes []string `json:"notes,omitempty"`
+}
+
+// A Journal is the incremental half of a store entry: an append-only
+// rows.ndjson inside a not-yet-published temp directory. Rows are
+// appended as sweep points complete; CommitJournal finalizes the
+// rendered artifacts beside the journal and publishes the directory
+// atomically, and Abort discards everything, so a canceled or crashed
+// run never leaves a partial cache entry at its content address.
+type Journal struct {
+	key string
+	dir string
+
+	mu       sync.Mutex
+	f        *os.File
+	rows     int
+	declared int // rows promised by the start record; -1 until seen
+	done     bool
+	err      error // first append failure; poisons CommitJournal
+}
+
+// BeginJournal opens a journal for the entry that will be stored at
+// key. The journal lives in a fresh temp directory invisible to Get
+// and Keys until committed.
+func (s *Store) BeginJournal(key string) (*Journal, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(tmp, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Journal{key: key, dir: tmp, f: f, declared: -1}, nil
+}
+
+// Append writes one record as a single atomic line. The first failed
+// append poisons the journal — CommitJournal will refuse — so a torn
+// journal can never publish.
+func (j *Journal) Append(rec JournalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: journal marshal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		j.err = fmt.Errorf("store: journal for %s is closed", j.key)
+		return j.err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.err = fmt.Errorf("store: journal append: %w", err)
+		return j.err
+	}
+	switch rec.Type {
+	case "start":
+		j.declared = rec.Rows
+	case "row":
+		j.rows++
+	case "done":
+		j.done = true
+	}
+	return nil
+}
+
+// Rows reports how many row records have landed so far.
+func (j *Journal) Rows() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rows
+}
+
+// Abort discards the journal and its temp directory. Safe to call
+// after a failed CommitJournal and idempotent.
+func (j *Journal) Abort() {
+	j.mu.Lock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.mu.Unlock()
+	os.RemoveAll(j.dir)
+}
+
+// CommitJournal verifies the journal is complete — a start record, the
+// promised number of rows, a done record, no append failures — writes
+// the entry's rendered artifacts beside it, and publishes the
+// directory atomically under the entry's key. First writer wins
+// exactly as in Put; the published entry keeps rows.ndjson alongside
+// table.txt/table.csv/manifest.json. On any error the journal remains
+// for the caller to Abort.
+func (s *Store) CommitJournal(j *Journal, e *Entry) error {
+	if j.key != e.Manifest.Key {
+		return fmt.Errorf("store: journal key %s, entry key %s", j.key, e.Manifest.Key)
+	}
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	if j.declared < 0 || j.rows != j.declared || !j.done {
+		declared, rows, done := j.declared, j.rows, j.done
+		j.mu.Unlock()
+		return fmt.Errorf("store: journal for %s incomplete: %d/%d rows, done=%t", j.key, rows, declared, done)
+	}
+	if j.f != nil {
+		if err := j.f.Close(); err != nil {
+			j.f = nil
+			j.mu.Unlock()
+			return fmt.Errorf("store: journal close: %w", err)
+		}
+		j.f = nil
+	}
+	j.mu.Unlock()
+	if err := writeEntryFiles(j.dir, e); err != nil {
+		return err
+	}
+	defer os.RemoveAll(j.dir) // no-op after a successful rename
+	return s.publish(j.dir, e)
+}
+
+// ReadRows loads the committed journal of an entry. Entries written by
+// plain Put have none; ok distinguishes that from an error.
+func (s *Store) ReadRows(key string) ([]JournalRecord, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	f, err := os.Open(filepath.Join(s.dir, key, journalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var recs []JournalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, false, fmt.Errorf("store: entry %s: corrupt journal: %w", key, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return recs, true, nil
+}
+
+// RecoverJournals removes temp directories at least maxAge old — the
+// partial journals (and torn Puts) of crashed runs, which would
+// otherwise accumulate invisibly beside the published entries. Live
+// writers are protected by the age threshold; Open sweeps with a
+// one-hour grace so a crashed service cleans up after itself on
+// restart.
+func (s *Store) RecoverJournals(maxAge time.Duration) (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	removed := 0
+	for _, de := range ents {
+		if !de.IsDir() || !strings.HasPrefix(de.Name(), tmpPrefix) {
+			continue
+		}
+		dir := filepath.Join(s.dir, de.Name())
+		// Age by the journal's last append when present, else by the
+		// directory itself.
+		newest := time.Time{}
+		if fi, err := os.Stat(filepath.Join(dir, journalFile)); err == nil {
+			newest = fi.ModTime()
+		} else if fi, err := os.Stat(dir); err == nil {
+			newest = fi.ModTime()
+		}
+		if newest.IsZero() || time.Since(newest) < maxAge {
+			continue
+		}
+		if err := os.RemoveAll(dir); err != nil && !os.IsNotExist(err) {
+			return removed, fmt.Errorf("store: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}

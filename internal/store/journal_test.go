@@ -1,0 +1,294 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// appendFullJournal writes a complete start/rows/done sequence.
+func appendFullJournal(t *testing.T, j *Journal, rows int) {
+	t.Helper()
+	if err := j.Append(JournalRecord{Type: "start", SpecID: "jt", Header: []string{"A", "B"}, Rows: rows, Points: rows}); err != nil {
+		t.Fatal(err)
+	}
+	// Rows land in completion order; write them backwards to mimic an
+	// out-of-order sweep.
+	for i := rows - 1; i >= 0; i-- {
+		if err := j.Append(JournalRecord{Type: "row", Index: i, Cells: []string{fmt.Sprint(i), "x"}, Coords: map[string]string{"i": fmt.Sprint(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(JournalRecord{Type: "done", Notes: []string{"note"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tmpDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, de := range ents {
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			tmps = append(tmps, de.Name())
+		}
+	}
+	return tmps
+}
+
+// TestJournalCommitPublishesEntry: a committed journal becomes a
+// normal cache entry — Get serves it, the journal rides along for
+// replay, and no temp directory survives.
+func TestJournalCommitPublishesEntry(t *testing.T) {
+	st, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec(t, "journal-commit")
+	e := testEntry(t, sp, 7, true, "journal table\n")
+	j, err := st.BeginJournal(e.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendFullJournal(t, j, 3)
+	if j.Rows() != 3 {
+		t.Fatalf("journal counted %d rows, want 3", j.Rows())
+	}
+	if err := st.CommitJournal(j, e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(e.Manifest.Key)
+	if err != nil || !ok {
+		t.Fatalf("Get after commit: ok=%t err=%v", ok, err)
+	}
+	if got.Table != e.Table {
+		t.Fatalf("served table %q, want %q", got.Table, e.Table)
+	}
+	recs, ok, err := st.ReadRows(e.Manifest.Key)
+	if err != nil || !ok {
+		t.Fatalf("ReadRows: ok=%t err=%v", ok, err)
+	}
+	if len(recs) != 5 || recs[0].Type != "start" || recs[len(recs)-1].Type != "done" {
+		t.Fatalf("journal replay has %d records (%+v)", len(recs), recs)
+	}
+	if recs[1].Index != 2 || recs[1].Cells[0] != "2" {
+		t.Fatalf("completion order not preserved: %+v", recs[1])
+	}
+	if got := tmpDirs(t, st.Dir()); len(got) != 0 {
+		t.Fatalf("temp dirs left after commit: %v", got)
+	}
+}
+
+// TestJournalAbortLeavesNothing: an aborted journal leaves no temp
+// directory and no entry at its key.
+func TestJournalAbortLeavesNothing(t *testing.T) {
+	st, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testSpec(t, "journal-abort"), 7, true, "t\n")
+	j, err := st.BeginJournal(e.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendFullJournal(t, j, 2)
+	j.Abort()
+	j.Abort() // idempotent
+	if _, ok, _ := st.Get(e.Manifest.Key); ok {
+		t.Fatal("aborted journal produced an entry")
+	}
+	if got := tmpDirs(t, st.Dir()); len(got) != 0 {
+		t.Fatalf("temp dirs left after abort: %v", got)
+	}
+}
+
+// TestJournalCommitRejectsIncomplete: missing rows or a missing done
+// record must refuse to publish.
+func TestJournalCommitRejectsIncomplete(t *testing.T) {
+	st, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testSpec(t, "journal-short"), 7, true, "t\n")
+	j, err := st.BeginJournal(e.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalRecord{Type: "start", Rows: 5, Points: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalRecord{Type: "row", Index: 0, Cells: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitJournal(j, e); err == nil {
+		t.Fatal("incomplete journal committed")
+	}
+	j.Abort()
+	if _, ok, _ := st.Get(e.Manifest.Key); ok {
+		t.Fatal("incomplete journal produced an entry")
+	}
+}
+
+// TestJournalFirstWriterWins: two journals racing the same key both
+// commit successfully, one directory survives, and the entry stays
+// readable.
+func TestJournalFirstWriterWins(t *testing.T) {
+	st, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec(t, "journal-race")
+	e1 := testEntry(t, sp, 7, true, "same bytes\n")
+	e2 := testEntry(t, sp, 7, true, "same bytes\n")
+	j1, err := st.BeginJournal(e1.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := st.BeginJournal(e2.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendFullJournal(t, j1, 1)
+	appendFullJournal(t, j2, 1)
+	if err := st.CommitJournal(j1, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitJournal(j2, e2); err != nil {
+		t.Fatalf("losing journal commit must succeed: %v", err)
+	}
+	if got := tmpDirs(t, st.Dir()); len(got) != 0 {
+		t.Fatalf("temp dirs left after racing commits: %v", got)
+	}
+	if _, ok, err := st.Get(e1.Manifest.Key); !ok || err != nil {
+		t.Fatalf("entry unreadable after race: ok=%t err=%v", ok, err)
+	}
+}
+
+// TestRecoverJournals: a journal whose writer crashed (never committed
+// or aborted) is detected and discarded by the recovery sweep, while
+// published entries survive.
+func TestRecoverJournals(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := testEntry(t, testSpec(t, "recover-done"), 7, true, "t\n")
+	if err := st.Put(done); err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := st.BeginJournal(testEntry(t, testSpec(t, "recover-crash"), 7, true, "t\n").Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashed.Append(JournalRecord{Type: "start", Rows: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the process dies without Abort/Commit.
+	if len(tmpDirs(t, dir)) != 1 {
+		t.Fatal("crashed journal's temp dir missing")
+	}
+	n, err := st.RecoverJournals(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d journals, want 1", n)
+	}
+	if got := tmpDirs(t, dir); len(got) != 0 {
+		t.Fatalf("temp dirs left after recovery: %v", got)
+	}
+	if _, ok, err := st.Get(done.Manifest.Key); !ok || err != nil {
+		t.Fatalf("published entry lost by recovery: ok=%t err=%v", ok, err)
+	}
+	// A fresh journal is younger than the grace period and must be
+	// spared by an Open-style sweep.
+	live, err := st.BeginJournal(testEntry(t, testSpec(t, "recover-live"), 7, true, "t\n").Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Abort()
+	if n, err := st.RecoverJournals(time.Hour); err != nil || n != 0 {
+		t.Fatalf("live journal swept: n=%d err=%v", n, err)
+	}
+}
+
+// TestReadRowsAbsentForPlainPut: entries written by Put (the CLI path)
+// have no journal; ReadRows reports a clean miss.
+func TestReadRowsAbsentForPlainPut(t *testing.T) {
+	st, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testSpec(t, "plain-put"), 7, true, "t\n")
+	if err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	recs, ok, err := st.ReadRows(e.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || recs != nil {
+		t.Fatalf("ReadRows on a journal-less entry: ok=%t recs=%v", ok, recs)
+	}
+}
+
+// TestJournalAppendAfterAbortFails: appends after Abort report the
+// closed journal instead of resurrecting the file.
+func TestJournalAppendAfterAbortFails(t *testing.T) {
+	st, err := Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testSpec(t, "journal-closed"), 7, true, "t\n")
+	j, err := st.BeginJournal(e.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Abort()
+	if err := j.Append(JournalRecord{Type: "row", Index: 0}); err == nil {
+		t.Fatal("append after abort succeeded")
+	}
+	if err := st.CommitJournal(j, e); err == nil {
+		t.Fatal("commit after abort succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), e.Manifest.Key)); err == nil {
+		t.Fatal("aborted journal published an entry")
+	}
+}
+
+// BenchmarkJournalAppend measures the per-row journal cost quoted in
+// PERFORMANCE.md: an append is one JSON marshal plus one buffered-OS
+// write, paid on the sweep's emission path (not inside a simulation).
+func BenchmarkJournalAppend(b *testing.B) {
+	st, err := Open(b.TempDir(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	j, err := st.BeginJournal(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Abort()
+	rec := JournalRecord{
+		Type:   "row",
+		Index:  41,
+		Cells:  []string{"qwen-57", "tile=128", "123456789", "8388608", "104857600"},
+		Coords: map[string]string{"model": "qwen-57", "schedule": "tile=128"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Index = i
+		if err := j.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

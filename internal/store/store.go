@@ -124,12 +124,17 @@ func Open(dir string, lruCap int) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{
+	s := &Store{
 		dir: dir,
 		cap: lruCap,
 		lru: list.New(),
 		idx: make(map[string]*list.Element),
-	}, nil
+	}
+	// Best-effort crash recovery: discard partial journals and torn
+	// Puts left by a previous process. Recent temp dirs are spared —
+	// they may belong to a live writer sharing the directory.
+	_, _ = s.RecoverJournals(journalMaxAge)
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -196,8 +201,7 @@ func (s *Store) Get(key string) (*Entry, bool, error) {
 // the existing entry is kept (results are content-addressed, so both
 // copies carry the same bytes) and Put reports success.
 func (s *Store) Put(e *Entry) error {
-	key := e.Manifest.Key
-	if err := validKey(key); err != nil {
+	if err := validKey(e.Manifest.Key); err != nil {
 		return err
 	}
 	tmp, err := os.MkdirTemp(s.dir, tmpPrefix)
@@ -205,6 +209,15 @@ func (s *Store) Put(e *Entry) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.RemoveAll(tmp) // no-op after a successful rename
+	if err := writeEntryFiles(tmp, e); err != nil {
+		return err
+	}
+	return s.publish(tmp, e)
+}
+
+// writeEntryFiles renders an entry's three artifacts into dir, leaving
+// whatever else the directory holds (a journal) in place.
+func writeEntryFiles(dir string, e *Entry) error {
 	mb, err := json.MarshalIndent(e.Manifest, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: marshal manifest: %w", err)
@@ -217,13 +230,22 @@ func (s *Store) Put(e *Entry) error {
 		{csvFile, []byte(e.CSV)},
 		{manifestFile, append(mb, '\n')},
 	} {
-		if err := os.WriteFile(filepath.Join(tmp, f.name), f.data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
+	return nil
+}
+
+// publish renames a fully-written temp directory into its final
+// content address. A failed rename whose destination already carries a
+// manifest means a concurrent writer of the same key won; the entry is
+// remembered and publish reports success (first writer wins, both
+// copies carry the same bytes).
+func (s *Store) publish(tmp string, e *Entry) error {
+	key := e.Manifest.Key
 	final := filepath.Join(s.dir, key)
 	if err := os.Rename(tmp, final); err != nil {
-		// The destination exists: a concurrent Put of the same key won.
 		if _, statErr := os.Stat(filepath.Join(final, manifestFile)); statErr == nil {
 			s.remember(key, e)
 			return nil
