@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke stream-smoke examples-smoke cover check
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke stream-smoke fabric-smoke examples-smoke cover check
 
 all: check
 
@@ -102,6 +102,13 @@ serve-smoke:
 stream-smoke:
 	bash examples/stream_smoke.sh
 
+# fabric-smoke drives the distributed-sweep fabric across real
+# processes: a serving coordinator, a worker killed mid-sweep, a second
+# worker picking up the remainder — the final table must still match
+# the committed golden artifact byte for byte.
+fabric-smoke:
+	bash examples/fabric_smoke.sh
+
 # cover is the full test suite run with a coverage profile plus a
 # whole-module summary; CI's test job runs it *in place of* `test`, so
 # coverage costs no second suite execution.
@@ -109,4 +116,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke stream-smoke examples-smoke
+check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke stream-smoke fabric-smoke examples-smoke

@@ -9,6 +9,8 @@
 //	stepctl exp [flags]        # run paper experiments on the parallel harness
 //	stepctl sweep [flags]      # run a declarative scenario sweep (JSON spec)
 //	stepctl serve [flags]      # serve sweeps over HTTP with a result cache
+//	stepctl worker -join <server>
+//	                           # join a server as a remote sweep-point worker
 //	stepctl watch <server> <job-id>
 //	                           # tail a served sweep's row stream live
 //	stepctl program <compile|dot|run> -ir file.json
@@ -34,6 +36,7 @@ import (
 
 	"step"
 	"step/internal/experiments"
+	"step/internal/fabric"
 	"step/internal/harness"
 	"step/internal/scenario"
 	"step/internal/service"
@@ -61,6 +64,8 @@ func main() {
 		err = sweep(os.Args[2:])
 	case "serve":
 		err = serve(os.Args[2:])
+	case "worker":
+		err = workerCmd(os.Args[2:])
 	case "watch":
 		err = watch(os.Args[2:])
 	case "program":
@@ -76,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve|watch|program> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: stepctl <demo|dot|tables|moe|exp|sweep|serve|worker|watch|program> [flags]")
 }
 
 // program works with serializable program IRs: compile validates and
@@ -337,6 +342,8 @@ func serve(args []string) error {
 		workers    = fs.Int("workers", 0, "harness token pool shared by all executors (0 = one per CPU; each executor adds one implicit worker)")
 		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel")
 		lru        = fs.Int("lru", 64, "in-memory result cache entries fronting the disk store")
+		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "work-unit lease TTL for joined workers (re-dispatch latency after a worker dies)")
+		workerTTL  = fs.Duration("worker-ttl", 45*time.Second, "how long a silent worker stays in the fleet")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -350,6 +357,7 @@ func serve(args []string) error {
 		Workers:     *workers,
 		SimWorkers:  *simWorkers,
 		GitDescribe: store.GitDescribe("."),
+		Fabric:      fabric.Options{LeaseTTL: *leaseTTL, WorkerTTL: *workerTTL},
 	})
 	defer svc.Close()
 
@@ -377,6 +385,43 @@ func serve(args []string) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(shutdownCtx)
+}
+
+// workerCmd joins a serving coordinator as a remote sweep-point
+// worker: it long-polls /work/lease, runs each leased point with the
+// same deterministic machinery `stepctl sweep` uses, and posts the raw
+// result back. Determinism makes the worker's -workers/-sim-workers
+// settings invisible in the result bytes. Runs until interrupted.
+func workerCmd(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	var (
+		join       = fs.String("join", "", "coordinator base URL (e.g. http://host:8372)")
+		name       = fs.String("name", "", "worker label shown in GET /work/workers (default: hostname)")
+		workers    = fs.Int("workers", 0, "local harness workers per leased point (0 = one per CPU)")
+		simWorkers = fs.Int("sim-workers", 0, "DES engine per simulation: 0/1 = sequential, >=2 = conservative parallel")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *join == "" {
+		return fmt.Errorf("worker: need -join <coordinator URL>")
+	}
+	if *name == "" {
+		if host, err := os.Hostname(); err == nil {
+			*name = host
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return fabric.RunWorker(ctx, fabric.WorkerOptions{
+		Coordinator: *join,
+		Name:        *name,
+		Workers:     *workers,
+		SimWorkers:  *simWorkers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stepctl: "+format+"\n", args...)
+		},
+	})
 }
 
 // watch tails a served sweep's NDJSON row stream (GET
@@ -407,12 +452,20 @@ func watch(args []string) error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
+	return watchStream(resp.Body, id, *quiet, os.Stdout, os.Stderr)
+}
 
+// watchStream reassembles one NDJSON event stream: rows feed errw as
+// they land, the final table prints to out on a clean terminal event.
+// A row index streamed twice is a protocol violation (re-dispatch must
+// never double-commit), so it fails loudly instead of silently keeping
+// the later copy.
+func watchStream(r io.Reader, id string, quiet bool, out, errw io.Writer) error {
 	var (
 		tb   *harness.Table
 		seen int
 	)
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -427,19 +480,20 @@ func watch(args []string) error {
 		case service.EventStart:
 			tb = &harness.Table{ID: ev.SpecID, Title: ev.Title, Header: ev.Header}
 			tb.Rows = make([][]string, ev.RowsTotal)
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "watch: %s (%s): %d rows over %d points\n", ev.SpecID, ev.Key, ev.RowsTotal, ev.PointsTotal)
+			if !quiet {
+				fmt.Fprintf(errw, "watch: %s (%s): %d rows over %d points\n", ev.SpecID, ev.Key, ev.RowsTotal, ev.PointsTotal)
 			}
 		case service.EventRow:
 			if tb == nil || ev.Index < 0 || ev.Index >= len(tb.Rows) {
 				return fmt.Errorf("watch: row %d outside the announced table", ev.Index)
 			}
-			if tb.Rows[ev.Index] == nil {
-				seen++
+			if tb.Rows[ev.Index] != nil {
+				return fmt.Errorf("watch: row %d streamed twice", ev.Index)
 			}
+			seen++
 			tb.Rows[ev.Index] = ev.Cells
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "row %d/%d  %s\n", ev.Index+1, len(tb.Rows), strings.Join(ev.Cells, "  "))
+			if !quiet {
+				fmt.Fprintf(errw, "row %d/%d  %s\n", ev.Index+1, len(tb.Rows), strings.Join(ev.Cells, "  "))
 			}
 		case service.EventProgress:
 			// Point-level progress; rows are the user-visible unit here.
@@ -450,7 +504,7 @@ func watch(args []string) error {
 					return fmt.Errorf("watch: job %s finished but streamed %d rows", id, seen)
 				}
 				tb.Notes = ev.Notes
-				fmt.Println(tb.String())
+				fmt.Fprintln(out, tb.String())
 				return nil
 			default:
 				return fmt.Errorf("watch: job %s %s: %s", id, ev.State, ev.Error)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// watchFeed builds an NDJSON event stream from raw lines.
+func watchFeed(lines ...string) *strings.Reader {
+	return strings.NewReader(strings.Join(lines, "\n") + "\n")
+}
+
+func TestWatchStreamReassembles(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := watchStream(watchFeed(
+		`{"type":"start","job_id":"job-1","spec_id":"s","title":"T","header":["A","B"],"rows_total":2,"points_total":2}`,
+		`{"type":"row","index":1,"cells":["1","y"]}`,
+		`{"type":"progress","points_done":1}`,
+		`{"type":"row","index":0,"cells":["0","x"]}`,
+		`{"type":"done","state":"done"}`,
+	), "job-1", false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "0  x") || !strings.Contains(got, "1  y") {
+		t.Fatalf("reassembled table missing rows:\n%s", got)
+	}
+	// Rows print in arrival order; the table prints in index order.
+	if !strings.Contains(errw.String(), "row 2/2") {
+		t.Fatalf("per-row feed missing:\n%s", errw.String())
+	}
+}
+
+// TestWatchStreamRejectsDuplicateRow: a row index streamed twice is a
+// protocol violation (the fabric's at-most-once commit rule exists to
+// prevent exactly this), so watch fails loudly instead of silently
+// keeping the later copy.
+func TestWatchStreamRejectsDuplicateRow(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := watchStream(watchFeed(
+		`{"type":"start","spec_id":"s","header":["A"],"rows_total":2,"points_total":2}`,
+		`{"type":"row","index":0,"cells":["first"]}`,
+		`{"type":"row","index":0,"cells":["second"]}`,
+	), "job-1", true, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "streamed twice") {
+		t.Fatalf("duplicate row accepted: err=%v", err)
+	}
+}
+
+func TestWatchStreamRejectsRowOutsideTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := watchStream(watchFeed(
+		`{"type":"start","spec_id":"s","header":["A"],"rows_total":1,"points_total":1}`,
+		`{"type":"row","index":5,"cells":["x"]}`,
+	), "job-1", true, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "outside the announced table") {
+		t.Fatalf("out-of-range row accepted: err=%v", err)
+	}
+}
+
+func TestWatchStreamMissingTerminalEvent(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := watchStream(watchFeed(
+		`{"type":"start","spec_id":"s","header":["A"],"rows_total":1,"points_total":1}`,
+		`{"type":"row","index":0,"cells":["x"]}`,
+	), "job-1", true, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "without a terminal event") {
+		t.Fatalf("truncated stream accepted: err=%v", err)
+	}
+}
+
+func TestWatchStreamFailedJob(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := watchStream(watchFeed(
+		`{"type":"start","spec_id":"s","header":["A"],"rows_total":1,"points_total":1}`,
+		`{"type":"done","state":"failed","error":"boom"}`,
+	), "job-1", true, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("failed job not surfaced: err=%v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("failed job printed a table:\n%s", out.String())
+	}
+}

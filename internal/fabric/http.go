@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxResultBytes bounds a posted result body; raw point results are a
+// few hundred bytes of JSON.
+const maxResultBytes = 1 << 20
+
+// joinRequest/joinResponse are the POST /work/join bodies.
+type joinRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+type joinResponse struct {
+	WorkerID   string `json:"worker_id"`
+	LeaseTTLMS int64  `json:"lease_ttl_ms"`
+	PollMS     int64  `json:"poll_ms"`
+}
+
+// leaseRequest is the POST /work/lease body.
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	WaitMS   int64  `json:"wait_ms,omitempty"`
+}
+
+// heartbeatRequest is the POST /work/lease/{id}/heartbeat body.
+type heartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// WorkerInfo is one row of GET /work/workers.
+type WorkerInfo struct {
+	ID           string `json:"id"`
+	Name         string `json:"name,omitempty"`
+	ActiveLeases int    `json:"active_leases"`
+	LastSeenMS   int64  `json:"last_seen_ms"` // milliseconds since last contact
+}
+
+// Register mounts the fabric protocol on mux, beside the service's
+// sweep endpoints.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /work/join", c.handleJoin)
+	mux.HandleFunc("POST /work/lease", c.handleLease)
+	mux.HandleFunc("POST /work/lease/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /work/lease/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /work/workers", c.handleWorkers)
+}
+
+func fabricError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func fabricJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes+1))
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, "read body: %v", err)
+		return false
+	}
+	if len(body) > maxResultBytes {
+		fabricError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxResultBytes)
+		return false
+	}
+	if len(body) == 0 {
+		fabricError(w, http.StatusBadRequest, "need a JSON body")
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		fabricError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	// An empty join body is fine: the name is optional.
+	if r.ContentLength != 0 && !decodeBody(w, r, &req) {
+		return
+	}
+	id, err := c.register(req.Name)
+	if err != nil {
+		fabricError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	fabricJSON(w, http.StatusOK, joinResponse{
+		WorkerID:   id,
+		LeaseTTLMS: c.opts.LeaseTTL.Milliseconds(),
+		PollMS:     c.opts.LongPoll.Milliseconds(),
+	})
+}
+
+// handleLease long-polls for a work unit: 200 with a Lease, or 204
+// when the poll window closed empty. 404 tells an expired (or never
+// joined) worker to re-join.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		fabricError(w, http.StatusBadRequest, "need worker_id (POST /work/join first)")
+		return
+	}
+	ls, ok, unknown := c.lease(r.Context(), req.WorkerID, time.Duration(req.WaitMS)*time.Millisecond)
+	if unknown {
+		fabricError(w, http.StatusNotFound, "unknown worker %q; re-join", req.WorkerID)
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	fabricJSON(w, http.StatusOK, ls)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !c.heartbeat(r.PathValue("id"), req.WorkerID) {
+		fabricError(w, http.StatusGone, "lease %s is no longer live", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResult commits a lease's result. 410 Gone enforces the
+// at-most-once rule: the lease expired (its point was re-dispatched)
+// or was already committed, so this answer is discarded.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res Result
+	if !decodeBody(w, r, &res) {
+		return
+	}
+	id := r.PathValue("id")
+	stale, err := c.complete(id, res)
+	if stale {
+		fabricError(w, http.StatusGone, "lease %s is no longer live; result discarded", id)
+		return
+	}
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	now := time.Now()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, ws := range c.workers {
+		out = append(out, WorkerInfo{
+			ID:           ws.id,
+			Name:         ws.name,
+			ActiveLeases: ws.leases,
+			LastSeenMS:   now.Sub(ws.lastSeen).Milliseconds(),
+		})
+	}
+	c.mu.Unlock()
+	fabricJSON(w, http.StatusOK, out)
+}

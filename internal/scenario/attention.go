@@ -12,10 +12,12 @@ import (
 	"step/internal/workloads"
 )
 
-// attnResult is one simulated attention grid point.
+// attnResult is one simulated attention grid point. Fields are
+// exported with JSON tags: the raw result is the unit of work a fabric
+// worker ships back to the coordinator (see RunPoint).
 type attnResult struct {
-	cycles  uint64
-	kvBytes int64 // total KV-cache footprint of the batch
+	Cycles  uint64 `json:"cycles"`
+	KVBytes int64  `json:"kv_bytes"` // total KV-cache footprint of the batch
 }
 
 // runAttention compiles an attention spec: the cross product of models,
@@ -24,7 +26,7 @@ type attnResult struct {
 // self-contained decode-attention simulation. Plain sweeps stream one
 // row per point; Compare sweeps pivot the strategy axis into columns,
 // so a row streams when the last of its nS strategy points lands.
-func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
+func runAttention(sp Spec, s harness.Suite, ss *streamSink, ex exec) (*harness.Table, error) {
 	s = s.EnsurePool()
 	models, err := sp.resolveModels()
 	if err != nil {
@@ -201,9 +203,9 @@ func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 			if showStrategy {
 				row = append(row, strategies[si])
 			}
-			row = append(row, r.cycles)
+			row = append(row, r.Cycles)
 			if showKVBytes {
-				row = append(row, r.kvBytes)
+				row = append(row, r.KVBytes)
 			}
 			ss.row(idx, harness.FormatRow(row...), coordsFor(mi, bi, ki, hi, si), ev.Duration)
 			return
@@ -215,17 +217,17 @@ func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 		}
 		row := labelsFor(mi, bi, ki, hi)
 		for sj := 0; sj < nS; sj++ {
-			row = append(row, parked[rowIdx*nS+sj].cycles)
+			row = append(row, parked[rowIdx*nS+sj].Cycles)
 		}
-		first := parked[rowIdx*nS].cycles
-		last := parked[rowIdx*nS+nS-1].cycles
+		first := parked[rowIdx*nS].Cycles
+		last := parked[rowIdx*nS+nS-1].Cycles
 		row = append(row, float64(first)/float64(last))
 		ss.row(rowIdx, harness.FormatRow(row...), coordsFor(mi, bi, ki, hi, -1), ev.Duration)
 	})
 
 	// Flattened grid, strategy innermost; row indices walk the same
 	// order, so tables are identical at any worker count.
-	results, err := harness.ParMap(run, nM*nB*nK*nH*nS, func(idx int) (attnResult, error) {
+	results, err := mapPoints(run, ex, nM*nB*nK*nH*nS, func(idx int) (attnResult, error) {
 		si := idx % nS
 		hi := idx / nS % nH
 		ki := idx / (nS * nH) % nK
@@ -268,7 +270,7 @@ func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 		for _, l := range kvLens {
 			total += int64(l)
 		}
-		return attnResult{cycles: uint64(res.Cycles), kvBytes: total * model.KVBytesPerToken()}, nil
+		return attnResult{Cycles: uint64(res.Cycles), KVBytes: total * model.KVBytesPerToken()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +279,13 @@ func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 		return results[(((mi*nB+bi)*nK+ki)*nH+hi)*nS+si]
 	}
 	t.Rows = ss.take()
+	if ex.only >= 0 {
+		// Single-point mode (a worker running one lease): the rest of
+		// the results slice is zero-valued, so the endpoint-ratio notes
+		// below are not computable — and not needed; the coordinator
+		// renders notes from the full decoded result set.
+		return t, nil
+	}
 
 	// Computed headline notes for the beyond-the-paper axes: endpoint
 	// ratios at the first batch/KV-mean/strategy combo.
@@ -285,8 +294,8 @@ func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 			lo, hi := at(mi, 0, 0, 0, 0), at(mi, 0, 0, nH-1, 0)
 			t.Notef("%s: KVHeads %d vs %d: KV-cache bytes %.3gx, cycles %.3gx",
 				model.Name, kvHeads[0], kvHeads[nH-1],
-				float64(lo.kvBytes)/float64(hi.kvBytes),
-				float64(lo.cycles)/float64(hi.cycles))
+				float64(lo.KVBytes)/float64(hi.KVBytes),
+				float64(lo.Cycles)/float64(hi.Cycles))
 		}
 	}
 	if nK > 1 {
@@ -294,8 +303,8 @@ func runAttention(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 			lo, hi := at(mi, 0, 0, 0, 0), at(mi, 0, nK-1, 0, 0)
 			t.Notef("%s: KV mean %v -> %v: cycles %.2fx, KV-cache bytes %.2fx",
 				model.Name, meanLabel(kvMeans[0]), meanLabel(kvMeans[nK-1]),
-				float64(hi.cycles)/float64(lo.cycles),
-				float64(hi.kvBytes)/float64(lo.kvBytes))
+				float64(hi.Cycles)/float64(lo.Cycles),
+				float64(hi.KVBytes)/float64(lo.KVBytes))
 		}
 	}
 	t.Notes = append(t.Notes, sp.Notes...)

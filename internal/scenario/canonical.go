@@ -229,9 +229,10 @@ func (sp Spec) Hash() (string, error) {
 // PointCount returns the number of sweep points Run will execute for a
 // valid spec under the given quick setting — exactly the number of
 // successful Suite.OnPoint events a full run fires, so services can
-// report done/total progress. Every harness job counts as a point: the leaf
-// simulations, the per-model tiling sub-sweeps, and each cell of a
-// declared Workers x SimWorkers verification matrix re-runs the grid.
+// report done/total progress. Every kind sweeps one flat grid of
+// self-contained leaf simulations (the unit the fabric leases out),
+// and each cell of a declared Workers x SimWorkers verification matrix
+// re-runs the grid.
 func (sp Spec) PointCount(quick bool) int {
 	matrix := 1
 	if len(sp.WorkersAxis) > 0 || len(sp.SimWorkersAxis) > 0 {
@@ -257,8 +258,9 @@ func (sp Spec) PointCount(quick bool) int {
 		if quick && len(sp.QuickTiles) > 0 {
 			tiles = len(sp.QuickTiles)
 		}
-		// Static tiles + the dynamic point, plus the outer per-model job.
-		return matrix * nM * (tiles + 2)
+		// Static tiles + the dynamic point: the sweep is one flat
+		// nM x (tiles+1) grid, one point per table row.
+		return matrix * nM * (tiles + 1)
 	case KindAttention:
 		nS := len(sp.Strategies)
 		if nS == 0 {

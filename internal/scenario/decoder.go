@@ -8,19 +8,21 @@ import (
 	"step/internal/workloads"
 )
 
-// decoderResult is one simulated decoder grid point.
+// decoderResult is one simulated decoder grid point. Fields are
+// exported with JSON tags so the raw result can ship between fabric
+// workers and the coordinator (see RunPoint).
 type decoderResult struct {
-	cycles  uint64
-	onchip  int64
-	traffic int64
-	allocBW int64
+	Cycles  uint64 `json:"cycles"`
+	Onchip  int64  `json:"onchip"`
+	Traffic int64  `json:"traffic"`
+	AllocBW int64  `json:"alloc_bw"`
 }
 
 // runDecoder compiles a decoder spec: models x batch sizes x schedules
 // through workloads.RunDecoder, reporting end-to-end latency, on-chip
 // footprint, off-chip traffic, and allocated compute. One point is one
 // table row, rendered and streamed as it lands.
-func runDecoder(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
+func runDecoder(sp Spec, s harness.Suite, ss *streamSink, ex exec) (*harness.Table, error) {
 	s = s.EnsurePool()
 	models, err := sp.resolveModels()
 	if err != nil {
@@ -98,14 +100,14 @@ func runDecoder(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error
 		if showBatch {
 			row = append(row, batches[bi])
 		}
-		row = append(row, schedules[si], r.cycles, r.onchip, r.traffic, r.allocBW)
+		row = append(row, schedules[si], r.Cycles, r.Onchip, r.Traffic, r.AllocBW)
 		ss.row(idx, harness.FormatRow(row...), map[string]string{
 			"model":    models[mi].Name,
 			"batch":    strconv.Itoa(batches[bi]),
 			"schedule": schedules[si],
 		}, ev.Duration)
 	})
-	results, err := harness.ParMap(run, nM*nB*nS, func(idx int) (decoderResult, error) {
+	results, err := mapPoints(run, ex, nM*nB*nS, func(idx int) (decoderResult, error) {
 		si := idx % nS
 		bi := idx / nS % nB
 		mi := idx / (nS * nB)
@@ -140,16 +142,21 @@ func runDecoder(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error
 			return decoderResult{}, err
 		}
 		return decoderResult{
-			cycles:  uint64(res.CyclesTotal),
-			onchip:  res.OnchipBytes,
-			traffic: res.TrafficBytes,
-			allocBW: res.AllocatedComputeBW,
+			Cycles:  uint64(res.CyclesTotal),
+			Onchip:  res.OnchipBytes,
+			Traffic: res.TrafficBytes,
+			AllocBW: res.AllocatedComputeBW,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	t.Rows = ss.take()
+	if ex.only >= 0 {
+		// Single-point mode: the speedup notes need every schedule's
+		// result; the coordinator computes them from the full set.
+		return t, nil
+	}
 	at := func(mi, bi, si int) decoderResult { return results[(mi*nB+bi)*nS+si] }
 	for mi, model := range models {
 		for bi, b := range batches {
@@ -157,8 +164,8 @@ func runDecoder(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error
 				first, last := at(mi, bi, 0), at(mi, bi, nS-1)
 				t.Notef("%s b=%d: %s vs %s speedup %.2fx, onchip %.2fx",
 					model.Name, b, schedules[nS-1], schedules[0],
-					float64(first.cycles)/float64(last.cycles),
-					float64(first.onchip)/float64(last.onchip))
+					float64(first.Cycles)/float64(last.Cycles),
+					float64(first.Onchip)/float64(last.Onchip))
 			}
 		}
 	}

@@ -131,18 +131,20 @@ func canonicalizeProgram(c *Spec) error {
 	return nil
 }
 
-// programPoint is one simulated grid point of a program sweep.
+// programPoint is one simulated grid point of a program sweep. Fields
+// are exported with JSON tags so the raw result can ship between
+// fabric workers and the coordinator (see RunPoint).
 type programPoint struct {
-	cycles  uint64
-	traffic int64
-	onchip  int64
-	flops   int64
+	Cycles  uint64 `json:"cycles"`
+	Traffic int64  `json:"traffic"`
+	Onchip  int64  `json:"onchip"`
+	FLOPs   int64  `json:"flops"`
 }
 
 // runProgram compiles the embedded IR once and instantiates it fresh
 // per depth-axis point. One point is one table row, rendered and
 // streamed as it lands.
-func runProgram(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
+func runProgram(sp Spec, s harness.Suite, ss *streamSink, ex exec) (*harness.Table, error) {
 	s = s.EnsurePool()
 	prog, err := sp.compileProgram()
 	if err != nil {
@@ -168,10 +170,10 @@ func runProgram(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error
 		r := ev.Row.(programPoint)
 		d := depths[ev.Index]
 		ss.row(ev.Index,
-			harness.FormatRow(d, r.cycles, r.traffic, r.onchip, r.flops),
+			harness.FormatRow(d, r.Cycles, r.Traffic, r.Onchip, r.FLOPs),
 			map[string]string{"depth": strconv.Itoa(d)}, ev.Duration)
 	})
-	_, err = harness.ParMap(run, len(depths), func(i int) (programPoint, error) {
+	_, err = mapPoints(run, ex, len(depths), func(i int) (programPoint, error) {
 		sess, err := prog.Run(
 			graph.WithConfig(s.GraphConfig()),
 			graph.WithSeed(s.Seed),
@@ -182,16 +184,19 @@ func runProgram(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error
 		}
 		res := sess.Result
 		return programPoint{
-			cycles:  uint64(res.Cycles),
-			traffic: res.OffchipTrafficBytes,
-			onchip:  res.PeakOnchipBytes,
-			flops:   res.TotalFLOPs,
+			Cycles:  uint64(res.Cycles),
+			Traffic: res.OffchipTrafficBytes,
+			Onchip:  res.PeakOnchipBytes,
+			FLOPs:   res.TotalFLOPs,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	t.Rows = ss.take()
+	if ex.only >= 0 {
+		return t, nil
+	}
 	hash, err := prog.Hash()
 	if err != nil {
 		return nil, err

@@ -22,12 +22,25 @@ func Run(sp Spec, s harness.Suite) (*harness.Table, error) {
 // Under a verification matrix only the first cell streams; the
 // remaining cells re-run silently and are compared as usual.
 func RunStream(sp Spec, s harness.Suite, sink Sink) (*harness.Table, error) {
+	return RunStreamExec(sp, s, sink, Exec{})
+}
+
+// RunStreamExec is RunStream with a pluggable point executor: when
+// x.Remote is set, each grid point's raw result may be fetched from a
+// remote worker (see Exec and RunPoint) instead of simulated on the
+// local pool. Row rendering, note computation, and table assembly stay
+// local either way, so the rendered bytes are independent of where —
+// and in what mix — points executed. Every cell of a declared
+// verification matrix re-dispatches through the same executor.
+func RunStreamExec(sp Spec, s harness.Suite, sink Sink, x Exec) (*harness.Table, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	ex := localExec
+	ex.remote = x.Remote
 	points := sp.PointCount(s.Quick)
 	if len(sp.WorkersAxis) == 0 && len(sp.SimWorkersAxis) == 0 {
-		return runKind(sp, s, newStreamSink(sink, points))
+		return runKind(sp, s, newStreamSink(sink, points), ex)
 	}
 	wAxis, swAxis := sp.WorkersAxis, sp.SimWorkersAxis
 	if len(wAxis) == 0 {
@@ -56,7 +69,7 @@ func RunStream(sp Spec, s harness.Suite, sink Sink) (*harness.Table, error) {
 			if base == nil {
 				cell = sink // only the first cell streams rows
 			}
-			tb, err := runKind(sp, sub, newStreamSink(cell, points))
+			tb, err := runKind(sp, sub, newStreamSink(cell, points), ex)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s: Workers=%d SimWorkers=%d: %w", sp.ID, w, sw, err)
 			}
@@ -75,16 +88,16 @@ func RunStream(sp Spec, s harness.Suite, sink Sink) (*harness.Table, error) {
 }
 
 // runKind dispatches one sweep execution to the kind's compiler.
-func runKind(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
+func runKind(sp Spec, s harness.Suite, ss *streamSink, ex exec) (*harness.Table, error) {
 	switch sp.Kind {
 	case KindMoETiling:
-		return runMoETiling(sp, s, ss)
+		return runMoETiling(sp, s, ss, ex)
 	case KindAttention:
-		return runAttention(sp, s, ss)
+		return runAttention(sp, s, ss, ex)
 	case KindDecoder:
-		return runDecoder(sp, s, ss)
+		return runDecoder(sp, s, ss, ex)
 	case KindProgram:
-		return runProgram(sp, s, ss)
+		return runProgram(sp, s, ss, ex)
 	}
 	return nil, fmt.Errorf("scenario %s: unknown kind %q", sp.ID, sp.Kind)
 }

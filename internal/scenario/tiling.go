@@ -20,6 +20,39 @@ type TilingPoint struct {
 	Traffic int64
 }
 
+// runTilingPoint simulates one tiling design point: a static tile size
+// (dynamic false) or the dynamic-tiling point (dynamic true, tileSize
+// ignored). Each call is a self-contained simulation — routing, layer
+// build, and DES run derive only from the arguments — so a point can
+// execute on any worker, local or remote, with identical results.
+func runTilingPoint(s harness.Suite, model workloads.ModelConfig, batch, tileSize int, dynamic bool, dynCap int, routing trace.ExpertRouting) (TilingPoint, error) {
+	l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
+		Model: model, Batch: batch,
+		TileSize: tileSize, Dynamic: dynamic, DynamicCap: dynCap,
+		Routing: routing, Seed: s.Seed,
+	})
+	if err != nil {
+		return TilingPoint{}, err
+	}
+	sess, err := l.Program.Run(graph.WithConfig(s.GraphConfig()), graph.WithSeed(s.Seed))
+	if err != nil {
+		return TilingPoint{}, err
+	}
+	res := sess.Result
+	oc, err := l.OnchipBytes()
+	if err != nil {
+		return TilingPoint{}, err
+	}
+	label := fmt.Sprintf("tile=%d", tileSize)
+	if dynamic {
+		label = "dynamic"
+	}
+	return TilingPoint{
+		Label: label, Tile: tileSize,
+		Cycles: uint64(res.Cycles), Onchip: oc, Traffic: res.OffchipTrafficBytes,
+	}, nil
+}
+
 // TilingSweep measures static tile sizes plus dynamic tiling for one
 // model and batch size. dynCap bounds dynamic tile rows; a negative
 // value selects the historical default — 128 rows for batches above
@@ -34,40 +67,13 @@ func TilingSweep(s harness.Suite, model workloads.ModelConfig, batch int, tiles 
 	if dynCap < 0 {
 		dynCap = autoDynamicCap(batch)
 	}
-	run := func(tileSize int, dynamic bool) (TilingPoint, error) {
-		l, err := workloads.BuildMoELayer(workloads.MoELayerConfig{
-			Model: model, Batch: batch,
-			TileSize: tileSize, Dynamic: dynamic, DynamicCap: dynCap,
-			Routing: routing, Seed: s.Seed,
-		})
-		if err != nil {
-			return TilingPoint{}, err
-		}
-		sess, err := l.Program.Run(graph.WithConfig(s.GraphConfig()), graph.WithSeed(s.Seed))
-		if err != nil {
-			return TilingPoint{}, err
-		}
-		res := sess.Result
-		oc, err := l.OnchipBytes()
-		if err != nil {
-			return TilingPoint{}, err
-		}
-		label := fmt.Sprintf("tile=%d", tileSize)
-		if dynamic {
-			label = "dynamic"
-		}
-		return TilingPoint{
-			Label: label, Tile: tileSize,
-			Cycles: uint64(res.Cycles), Onchip: oc, Traffic: res.OffchipTrafficBytes,
-		}, nil
-	}
 	// Every sweep point is an independent simulation: fan the static
 	// tiles plus the dynamic point (the last index) out on the pool.
 	pts, err := harness.ParMap(s, len(tiles)+1, func(i int) (TilingPoint, error) {
 		if i == len(tiles) {
-			return run(0, true)
+			return runTilingPoint(s, model, batch, 0, true, dynCap, routing)
 		}
-		return run(tiles[i], false)
+		return runTilingPoint(s, model, batch, tiles[i], false, dynCap, routing)
 	})
 	if err != nil {
 		return nil, TilingPoint{}, err
@@ -75,12 +81,14 @@ func TilingSweep(s harness.Suite, model workloads.ModelConfig, batch int, tiles 
 	return pts[:len(tiles)], pts[len(tiles)], nil
 }
 
-// runMoETiling compiles a moe-tiling spec: static tiles plus the
-// dynamic point per model, rendered with Pareto headline notes. Each
-// inner tiling point is one table row — row i*(tiles+1)+j for point j
-// of model i, the dynamic point last — streamed as its simulation
-// lands; the outer per-model jobs carry no row of their own.
-func runMoETiling(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, error) {
+// runMoETiling compiles a moe-tiling spec as one flat grid: row
+// i*(tiles+1)+j is point j of model i — the static tiles in spec
+// order, the dynamic point last. One point is one table row, streamed
+// as its simulation lands, and every point re-derives its expert
+// routing from (batch, model, seed), so points are self-contained and
+// individually dispatchable to fabric workers. Pareto headline notes
+// render from the collected results.
+func runMoETiling(sp Spec, s harness.Suite, ss *streamSink, ex exec) (*harness.Table, error) {
 	s = s.EnsurePool()
 	t := &harness.Table{
 		ID:     sp.ID,
@@ -98,39 +106,50 @@ func runMoETiling(sp Spec, s harness.Suite, ss *streamSink) (*harness.Table, err
 	if s.Quick && len(sp.QuickTiles) > 0 {
 		tiles = sp.QuickTiles
 	}
-	dynCap := -1
-	if sp.DynamicCap > 0 {
-		dynCap = sp.DynamicCap
+	dynCap := sp.DynamicCap
+	if dynCap <= 0 {
+		dynCap = autoDynamicCap(sp.Batch)
 	}
 	rowsPerModel := len(tiles) + 1
-	ss.start(t, len(models)*rowsPerModel)
-	type sweep struct {
-		static []TilingPoint
-		dyn    TilingPoint
-	}
-	// Sweep all models concurrently; each model's sub-sweep streams its
-	// rows through the chained per-point hook, and the final table is
-	// assembled in model order so it is identical at any worker count.
-	sweeps, err := harness.ParMap(s, len(models), func(i int) (sweep, error) {
-		inner := chainOnPoint(s, func(ev harness.PointEvent) {
-			if ev.Err != nil {
-				return
-			}
-			p := ev.Row.(TilingPoint)
-			ss.row(i*rowsPerModel+ev.Index,
-				harness.FormatRow(models[i].Name, p.Label, p.Cycles, p.Onchip, p.Traffic),
-				map[string]string{"model": models[i].Name, "schedule": p.Label},
-				ev.Duration)
-		})
-		static, dyn, err := TilingSweep(inner, models[i], sp.Batch, tiles, dynCap)
-		return sweep{static, dyn}, err
+	n := len(models) * rowsPerModel
+	ss.start(t, n)
+	run := chainOnPoint(s, func(ev harness.PointEvent) {
+		if ev.Err != nil {
+			return
+		}
+		p := ev.Row.(TilingPoint)
+		mi := ev.Index / rowsPerModel
+		ss.row(ev.Index,
+			harness.FormatRow(models[mi].Name, p.Label, p.Cycles, p.Onchip, p.Traffic),
+			map[string]string{"model": models[mi].Name, "schedule": p.Label},
+			ev.Duration)
+	})
+	results, err := mapPoints(run, ex, n, func(idx int) (TilingPoint, error) {
+		mi, j := idx/rowsPerModel, idx%rowsPerModel
+		// Routing is deterministic in (batch, experts, topK, skew, seed):
+		// re-sampling per point yields the identical trace a shared
+		// sample would, at the cost the harness already amortizes.
+		routing, err := trace.SampleExpertRouting(sp.Batch, models[mi].NumExperts, models[mi].TopK, trace.SkewHeavy, s.Seed)
+		if err != nil {
+			return TilingPoint{}, err
+		}
+		if j == len(tiles) {
+			return runTilingPoint(s, models[mi], sp.Batch, 0, true, dynCap, routing)
+		}
+		return runTilingPoint(s, models[mi], sp.Batch, tiles[j], false, dynCap, routing)
 	})
 	if err != nil {
 		return nil, err
 	}
 	t.Rows = ss.take()
-	for i, model := range models {
-		static, dyn := sweeps[i].static, sweeps[i].dyn
+	if ex.only >= 0 {
+		// Single-point mode: the Pareto notes need every point of a
+		// model; the coordinator computes them from the full result set.
+		return t, nil
+	}
+	for mi, model := range models {
+		static := results[mi*rowsPerModel : mi*rowsPerModel+len(tiles)]
+		dyn := results[mi*rowsPerModel+len(tiles)]
 		var base []sched.Point
 		for _, p := range static {
 			y := float64(p.Cycles)

@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"step/internal/fabric"
+	"step/internal/harness"
+	"step/internal/scenario"
+	"step/internal/store"
+)
+
+// fabricSpec is the distributed determinism gate's sweep: an attention
+// sweep re-run across a SimWorkers verification matrix, so the table
+// itself certifies engine-agnostic determinism while the fabric
+// scatters its points.
+func fabricSpec() scenario.Spec {
+	sp := scenario.GQARatio()
+	sp.SimWorkersAxis = []int{1, 2}
+	return sp
+}
+
+// newFabricService starts a service with fast fabric TTLs and its
+// HTTP server.
+func newFabricService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(st, Options{
+		Executors: 1,
+		Workers:   4,
+		Fabric: fabric.Options{
+			LeaseTTL:  300 * time.Millisecond,
+			WorkerTTL: 5 * time.Second,
+			LongPoll:  100 * time.Millisecond,
+		},
+	})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return svc, srv
+}
+
+// postFabric drives the worker protocol raw, for the rogue worker.
+func postFabric(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDistributedSweepByteIdentical is the PR's determinism gate: a
+// sweep served across two real workers plus one rogue worker that is
+// killed mid-point (it leases a point and never answers) renders a
+// table byte-identical to a plain local run. The rogue's lease
+// expires, its point re-dispatches, and its eventual late answer is
+// rejected stale — at-most-once commit end to end.
+func TestDistributedSweepByteIdentical(t *testing.T) {
+	sp := fabricSpec()
+	// Workers must match the service suite: the verification-matrix note
+	// records the observed Workers/SimWorkers axes in the table bytes.
+	want, err := scenario.Run(sp, harness.Suite{Seed: 7, Quick: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, srv := newFabricService(t)
+
+	// The rogue joins first so the executor offers points to the fabric
+	// rather than fast-pathing everything local.
+	var rogueJoin struct {
+		WorkerID string `json:"worker_id"`
+	}
+	if code := postFabric(t, srv.URL+"/work/join", map[string]string{"name": "rogue"}, &rogueJoin); code != http.StatusOK {
+		t.Fatalf("rogue join: status %d", code)
+	}
+
+	job, err := svc.Submit(sp, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The rogue leases exactly one point, then "dies": no heartbeat, no
+	// result — until after the sweep, when its answer must bounce.
+	var rogue fabric.Lease
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("rogue never got a lease")
+		}
+		code := postFabric(t, srv.URL+"/work/lease", map[string]any{"worker_id": rogueJoin.WorkerID, "wait_ms": 100}, &rogue)
+		if code == http.StatusOK {
+			break
+		}
+		if code != http.StatusNoContent {
+			t.Fatalf("rogue lease poll: status %d", code)
+		}
+	}
+
+	// Two honest workers, each running a different DES engine — neither
+	// may leave a fingerprint in the bytes.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, w := range []fabric.WorkerOptions{
+		{Coordinator: srv.URL, Name: "w1", Workers: 2, SimWorkers: 1},
+		{Coordinator: srv.URL, Name: "w2", Workers: 2, SimWorkers: 2},
+	} {
+		wg.Add(1)
+		go func(w fabric.WorkerOptions) {
+			defer wg.Done()
+			if err := fabric.RunWorker(ctx, w); err != nil {
+				t.Errorf("worker %s: %v", w.Name, err)
+			}
+		}(w)
+	}
+
+	done := wait(t, svc, job.ID)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s (%s)", done.State, done.Error)
+	}
+	e, ok, err := svc.st.Get(job.Key)
+	if err != nil || !ok {
+		t.Fatalf("stored entry missing: ok=%t err=%v", ok, err)
+	}
+	if e.Table != want.String() {
+		t.Fatalf("distributed table diverges from local run:\nlocal:\n%s\ndistributed:\n%s", want.String(), e.Table)
+	}
+	if e.CSV != want.CSV() {
+		t.Fatal("distributed CSV diverges from local run")
+	}
+
+	st := svc.fab.Stats()
+	if st.Completed == 0 {
+		t.Fatal("no point was completed remotely")
+	}
+	if st.Redispatched == 0 {
+		t.Fatal("the rogue's abandoned lease was never re-dispatched")
+	}
+	// The rogue finally answers, long after its lease lapsed.
+	code := postFabric(t, srv.URL+"/work/lease/"+rogue.ID+"/result",
+		fabric.Result{Point: rogue.Point, Raw: json.RawMessage(`{"bogus":true}`)}, nil)
+	if code != http.StatusGone {
+		t.Fatalf("rogue's late result: status %d, want 410", code)
+	}
+
+	cancel()
+	wg.Wait()
+}
+
+// TestStreamTwoSubscribersFabricJob: two concurrent stream subscribers
+// of a fabric-backed job both reassemble the byte-identical table —
+// the broadcast path is agnostic to where points ran.
+func TestStreamTwoSubscribersFabricJob(t *testing.T) {
+	sp := scenario.GQARatio()
+	want, err := scenario.Run(sp, harness.Suite{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, srv := newFabricService(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- fabric.RunWorker(ctx, fabric.WorkerOptions{Coordinator: srv.URL, Name: "sub-w"})
+	}()
+	// Wait for the worker to join before submitting, so points actually
+	// travel through the fabric.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.fab.Live() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	job, err := svc.Submit(sp, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables [2]*harness.Table
+	var wg sync.WaitGroup
+	for i := range tables {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc, closeStream := openStream(t, srv.URL+"/sweeps/"+job.ID+"/stream")
+			defer closeStream()
+			tables[i] = reassembleStream(t, drainStream(t, sc))
+		}(i)
+	}
+	wg.Wait()
+	for i, tb := range tables {
+		if tb.String() != want.String() {
+			t.Fatalf("subscriber %d reassembled a diverging table:\nlocal:\n%s\nstreamed:\n%s", i, want.String(), tb.String())
+		}
+	}
+	if svc.fab.Stats().Completed == 0 {
+		t.Fatal("no point traveled through the fabric")
+	}
+	cancel()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+}

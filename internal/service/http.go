@@ -53,6 +53,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}/table", s.handleTable)
 	mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /specs", s.handleSpecs)
+	s.fab.Register(mux) // /work/*: the distributed-sweep worker protocol
 	return mux
 }
 
@@ -226,7 +227,8 @@ func (s *Service) handleSubmitProgram(w http.ResponseWriter, r *http.Request) {
 	s.submitAndRespond(w, r, sp, seed, quick)
 }
 
-// queryInts parses a comma-separated integer list query parameter.
+// queryInts parses a comma-separated positive-integer list query
+// parameter, naming the offending element on failure.
 func queryInts(r *http.Request, name string) ([]int, error) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
@@ -237,6 +239,9 @@ func queryInts(r *http.Request, name string) ([]int, error) {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("bad %s %q", name, v)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("bad %s %q: %d is not positive", name, v, n)
 		}
 		out = append(out, n)
 	}

@@ -358,4 +358,19 @@ func TestHTTPSubmitProgram(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage program: status %d", resp.StatusCode)
 	}
+
+	// Zero/negative FIFO depths are rejected at the HTTP boundary with
+	// the offending value named, not deep inside program compilation.
+	resp, err = http.Post(srv.URL+"/programs?depths=0,-4", "application/json", bytes.NewReader(ir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depthsErr, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("depths=0,-4: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(depthsErr), "0 is not positive") {
+		t.Fatalf("depths error does not name the offending value: %s", depthsErr)
+	}
 }

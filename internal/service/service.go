@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"step/internal/fabric"
 	"step/internal/harness"
 	"step/internal/scenario"
 	"step/internal/store"
@@ -60,6 +61,10 @@ type Options struct {
 	MaxHistory int
 	// GitDescribe is recorded in result manifests (best-effort).
 	GitDescribe string
+	// Fabric configures the distributed-sweep coordinator (lease and
+	// worker TTLs). Zero values select the fabric defaults; with no
+	// workers joined the fabric is inert and every point runs locally.
+	Fabric fabric.Options
 }
 
 // Job is an immutable snapshot of one submission.
@@ -151,6 +156,7 @@ type Service struct {
 	st    *store.Store
 	opts  Options
 	suite harness.Suite // shared pool: EnsurePool'd once
+	fab   *fabric.Coordinator
 
 	mu       sync.Mutex
 	seq      int
@@ -183,6 +189,7 @@ func New(st *store.Store, opts Options) *Service {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		queue:    make(chan *job, opts.QueueCap),
+		fab:      fabric.New(opts.Fabric),
 	}
 	for i := 0; i < opts.Executors; i++ {
 		s.wg.Add(1)
@@ -214,6 +221,9 @@ func (s *Service) Close() {
 	for _, j := range jobs {
 		j.cancel()
 	}
+	// Closing the fabric resolves every in-flight Dispatch with
+	// ErrNoWorkers, so canceled executors unblock promptly.
+	s.fab.Close()
 	s.wg.Wait()
 	// Queued jobs the executors never reached die canceled.
 	for _, j := range jobs {
@@ -445,8 +455,24 @@ func (s *Service) execute(j *job) {
 		},
 	}
 
+	// Offer points to the worker fabric when workers are joined; with an
+	// empty fleet Dispatch answers ErrNoWorkers immediately and the
+	// point runs on this executor instead. The canonical spec ships in
+	// every lease, so a work unit is self-contained.
+	var x scenario.Exec
+	if cj, err := j.spec.CanonicalJSON(); err == nil {
+		work := fabric.Work{Key: j.key, Spec: cj, Seed: j.seed, Quick: j.quick}
+		x.Remote = func(idx int) ([]byte, error) {
+			raw, err := s.fab.Dispatch(j.ctx, work, idx)
+			if errors.Is(err, fabric.ErrNoWorkers) {
+				return nil, scenario.ErrLocalPoint
+			}
+			return raw, err
+		}
+	}
+
 	start := time.Now()
-	tb, err := scenario.RunStream(j.spec, suite, sink)
+	tb, err := scenario.RunStreamExec(j.spec, suite, sink, x)
 	if err != nil {
 		abort()
 		if j.ctx.Err() != nil {

@@ -220,7 +220,12 @@ func TestHTTPStreamTwoSubscribers(t *testing.T) {
 // content address — no entry, no partial journal.
 func TestHTTPStreamCancelMidSweep(t *testing.T) {
 	srv, st := newTestServer(t, Options{Executors: 1, Workers: 1})
-	spec, err := json.Marshal(slowSpec())
+	// A long full-resolution sweep (big KV means, every point sequential):
+	// the cancel below must land while points are still running even on a
+	// fast, loaded machine.
+	slow := slowSpec()
+	slow.KVMeans = []float64{2048, 4096, 8192}
+	spec, err := json.Marshal(slow)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// Without flock the lock file is advisory-only and never observed
+// held: recovery falls back to the age rule alone.
+func tryFlock(fd uintptr) error { return nil }
+
+func flockHeld(err error) bool { return false }

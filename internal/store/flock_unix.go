@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"syscall"
+)
+
+// tryFlock takes a non-blocking exclusive flock on fd. flock locks
+// belong to the open file description, so a second descriptor — even
+// in the same process — conflicts, which is exactly what lets the
+// recovery sweep probe for a live writer.
+func tryFlock(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// flockHeld reports whether err means the lock is held elsewhere.
+func flockHeld(err error) bool {
+	return errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN)
+}

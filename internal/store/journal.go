@@ -20,6 +20,50 @@ const journalFile = "rows.ndjson"
 // recovery sweep discards it as the leftover of a crashed run.
 const journalMaxAge = time.Hour
 
+// lockFile marks a temp directory's writer as alive: the writer holds
+// an exclusive flock on it for the directory's whole lifetime, so the
+// recovery sweep can tell a live long-running sweep from a crashed
+// one's leftovers regardless of age. The file never rides into a
+// published entry — it is removed before publish.
+const lockFile = "writer.lock"
+
+// lockDir creates and flocks dir's writer.lock. Best-effort: on any
+// failure the directory simply falls back to age-based recovery.
+func lockDir(dir string) *os.File {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil
+	}
+	if err := tryFlock(f.Fd()); err != nil {
+		f.Close()
+		return nil
+	}
+	return f
+}
+
+// unlockDir releases a lockDir handle and removes the lock file.
+// Nil-safe and idempotent.
+func unlockDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	name := f.Name()
+	f.Close() // closing the descriptor drops the flock
+	os.Remove(name)
+}
+
+// dirLocked probes whether dir's writer.lock is flocked by a live
+// writer. A missing lock file, or one whose lock is free, means no
+// writer — the age rule decides.
+func dirLocked(dir string) bool {
+	f, err := os.Open(filepath.Join(dir, lockFile))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	return flockHeld(tryFlock(f.Fd()))
+}
+
 // JournalRecord is one line of an entry's rows.ndjson journal. A
 // journal is a start record, one row record per table row (in
 // completion order, not index order), and a terminal done record —
@@ -52,8 +96,9 @@ type JournalRecord struct {
 // atomically, and Abort discards everything, so a canceled or crashed
 // run never leaves a partial cache entry at its content address.
 type Journal struct {
-	key string
-	dir string
+	key  string
+	dir  string
+	lock *os.File // held flock marking this writer live (see lockFile)
 
 	mu       sync.Mutex
 	f        *os.File
@@ -74,12 +119,14 @@ func (s *Store) BeginJournal(key string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	lock := lockDir(tmp)
 	f, err := os.OpenFile(filepath.Join(tmp, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		unlockDir(lock)
 		os.RemoveAll(tmp)
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Journal{key: key, dir: tmp, f: f, declared: -1}, nil
+	return &Journal{key: key, dir: tmp, lock: lock, f: f, declared: -1}, nil
 }
 
 // Append writes one record as a single atomic line. The first failed
@@ -130,6 +177,8 @@ func (j *Journal) Abort() {
 		j.f.Close()
 		j.f = nil
 	}
+	unlockDir(j.lock)
+	j.lock = nil
 	j.mu.Unlock()
 	os.RemoveAll(j.dir)
 }
@@ -168,6 +217,13 @@ func (s *Store) CommitJournal(j *Journal, e *Entry) error {
 	if err := writeEntryFiles(j.dir, e); err != nil {
 		return err
 	}
+	// Release the writer lock last thing before publish: the lock file
+	// must not ride into the published entry, and the fresh directory
+	// mtime keeps the age rule protecting this final window.
+	j.mu.Lock()
+	unlockDir(j.lock)
+	j.lock = nil
+	j.mu.Unlock()
 	defer os.RemoveAll(j.dir) // no-op after a successful rename
 	return s.publish(j.dir, e)
 }
@@ -208,8 +264,11 @@ func (s *Store) ReadRows(key string) ([]JournalRecord, bool, error) {
 
 // RecoverJournals removes temp directories at least maxAge old — the
 // partial journals (and torn Puts) of crashed runs, which would
-// otherwise accumulate invisibly beside the published entries. Live
-// writers are protected by the age threshold; Open sweeps with a
+// otherwise accumulate invisibly beside the published entries. A
+// directory whose writer.lock is still flocked has a live writer and
+// is skipped no matter how old it is (a multi-hour sweep must not have
+// its journal swept away mid-run); the age threshold covers writers
+// that predate the lock or platforms without flock. Open sweeps with a
 // one-hour grace so a crashed service cleans up after itself on
 // restart.
 func (s *Store) RecoverJournals(maxAge time.Duration) (int, error) {
@@ -223,6 +282,9 @@ func (s *Store) RecoverJournals(maxAge time.Duration) (int, error) {
 			continue
 		}
 		dir := filepath.Join(s.dir, de.Name())
+		if dirLocked(dir) {
+			continue // live writer, regardless of age
+		}
 		// Age by the journal's last append when present, else by the
 		// directory itself.
 		newest := time.Time{}

@@ -190,7 +190,12 @@ func TestRecoverJournals(t *testing.T) {
 	if err := crashed.Append(JournalRecord{Type: "start", Rows: 9}); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate the crash: the process dies without Abort/Commit.
+	// Simulate the crash: the process dies without Abort/Commit. Death
+	// releases the writer flock (the kernel drops it with the fd) but
+	// leaves the lock file behind.
+	if crashed.lock != nil {
+		crashed.lock.Close()
+	}
 	if len(tmpDirs(t, dir)) != 1 {
 		t.Fatal("crashed journal's temp dir missing")
 	}
@@ -290,5 +295,71 @@ func BenchmarkJournalAppend(b *testing.B) {
 		if err := j.Append(rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestRecoverJournalsSkipsLiveWriter: a journal whose writer still
+// holds the flock survives the recovery sweep no matter how old it is
+// — a multi-hour sweep must not lose its journal mid-run — and still
+// commits cleanly afterwards, with no lock file in the published
+// entry.
+func TestRecoverJournalsSkipsLiveWriter(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(t, testSpec(t, "recover-inflight"), 7, true, "t\n")
+	j, err := st.BeginJournal(e.Manifest.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.lock == nil {
+		t.Skip("no flock on this platform; recovery uses the age rule alone")
+	}
+	// Backdate the journal and its directory far past the grace period:
+	// age alone would condemn it.
+	old := time.Now().Add(-2 * journalMaxAge)
+	for _, p := range []string{filepath.Join(j.dir, journalFile), j.dir} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := st.RecoverJournals(journalMaxAge); err != nil || n != 0 {
+		t.Fatalf("in-flight journal swept away: n=%d err=%v", n, err)
+	}
+	appendFullJournal(t, j, 2)
+	if err := st.CommitJournal(j, e); err != nil {
+		t.Fatalf("commit after surviving recovery: %v", err)
+	}
+	if _, ok, err := st.Get(e.Manifest.Key); !ok || err != nil {
+		t.Fatalf("entry unreadable after commit: ok=%t err=%v", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, e.Manifest.Key, lockFile)); !os.IsNotExist(err) {
+		t.Fatalf("writer.lock rode into the published entry: err=%v", err)
+	}
+}
+
+// TestRecoverJournalsRemovesStaleUnheldLock: a lock file nobody flocks
+// (its writer is dead) does not protect an old temp directory.
+func TestRecoverJournalsRemovesStaleUnheldLock(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.MkdirTemp(dir, tmpPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, lockFile), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * journalMaxAge)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.RecoverJournals(journalMaxAge); err != nil || n != 1 {
+		t.Fatalf("stale dir with an unheld lock: n=%d err=%v", n, err)
 	}
 }
