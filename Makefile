@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke stream-smoke fabric-smoke examples-smoke cover check
+.PHONY: all build vet fmt fmt-check lint test race bench bench-smoke bench-json bench-sched sweep-smoke serve-smoke stream-smoke fabric-smoke examples-smoke cover check
 
 all: check
 
@@ -21,6 +21,14 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Static analysis: stock go vet plus stepvet, the repo-specific suite
+# enforcing the determinism, lock-discipline, hot-path, equalfields, and
+# registry-coverage invariants (see `stepvet -list`). Fails on any
+# unsuppressed finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/stepvet -json ./...
 
 test:
 	$(GO) test ./...
@@ -116,4 +124,4 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
-check: build vet fmt-check test race bench-smoke sweep-smoke serve-smoke stream-smoke fabric-smoke examples-smoke
+check: build vet fmt-check lint test race bench-smoke sweep-smoke serve-smoke stream-smoke fabric-smoke examples-smoke

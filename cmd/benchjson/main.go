@@ -297,8 +297,16 @@ func deriveSpeedups(benches []Bench) []Speedup {
 		}
 		byWorkload[workload] = append(byWorkload[workload], variant{w, b.NsPerOp})
 	}
+	// Iterate workloads in sorted order so row order never depends on map
+	// iteration (stepvet: determinism — same idiom the sim packages use).
+	workloads := make([]string, 0, len(byWorkload))
+	for w := range byWorkload {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
 	var out []Speedup
-	for workload, vs := range byWorkload {
+	for _, workload := range workloads {
+		vs := byWorkload[workload]
 		var seq variant
 		for _, v := range vs {
 			if v.workers <= 1 {

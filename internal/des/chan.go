@@ -1,3 +1,5 @@
+//lint:hotpath per-event code: names stay lazy (func() string thunks), strings only materialize in panics and diagnostics
+
 package des
 
 import (

@@ -47,6 +47,15 @@
 //     other processes' clocks; clocks are monotone, so a cached pass is
 //     always sound and a cached fail falls back to a full rescan.
 //
+// Three of this package's invariants are additionally enforced
+// statically by stepvet (make lint): the determinism analyzer rejects
+// wall clocks, unseeded math/rand, and order-leaking map ranges; the
+// lockdiscipline analyzer keeps the parallel engine's stateMu critical
+// sections free of channel operations, blocking waits, and function-
+// value calls; and the hotpath analyzer rejects eager string
+// formatting in the //lint:hotpath-marked event-path files (par.go,
+// seq.go, chan.go), where names must stay func() string thunks.
+//
 // # Ownership and lifecycle
 //
 // Processes are plain Go functions; all Process methods must be called

@@ -1,3 +1,5 @@
+//lint:hotpath per-event code: names stay lazy (func() string thunks), strings only materialize in panics and diagnostics
+
 package des
 
 import (
@@ -511,6 +513,7 @@ func (e *parEngine) triggerDeadlock() {
 // grouping deadlock reports. Materialized only once deadlock is certain.
 func parBlockedOn(pp *parProc) string {
 	if pp.blockedCh != nil {
+		//lint:allow hotpath deadlock-report formatting; runs once after the engine has already stopped
 		return "chan " + pp.blockedCh.label()
 	}
 	if pp.kind == parkSel && len(pp.parkSels) > 0 {
@@ -550,6 +553,7 @@ func (e *parEngine) serEnqueueOrRunFast(req serReq, fn func()) (g0 uint64, fast 
 	if len(e.pending) == 0 && e.grantsInFlight == 0 && !e.aborting && e.grantableHead(req) {
 		e.stGrants++
 		e.stGrantFast++
+		//lint:allow lockdiscipline Serialized critical sections run under stateMu by design: holding the lock across fn is what totally orders them against concurrently granted requests
 		fn()
 		return 0, true
 	}
@@ -581,6 +585,7 @@ func (e *parEngine) serRunGranted(pp *parProc, fn func()) {
 		e.maybeGrant()
 		e.stateMu.Unlock()
 	}()
+	//lint:allow lockdiscipline Serialized critical sections run under stateMu by design: holding the lock across fn is what totally orders them against concurrently granted requests
 	fn()
 }
 

@@ -1,3 +1,5 @@
+//lint:hotpath per-event code: names stay lazy (func() string thunks), strings only materialize in panics and diagnostics
+
 package des
 
 import (
@@ -418,6 +420,7 @@ func (e *seqEngine) deadlockError() error {
 // grouping deadlock reports. Materialized only once deadlock is certain.
 func seqBlockedOn(sp *seqProc) string {
 	if sp.blockedCh != nil {
+		//lint:allow hotpath deadlock-report formatting; runs once after the engine has already stopped
 		return "chan " + sp.blockedCh.label()
 	}
 	if len(sp.blockedSels) > 0 {

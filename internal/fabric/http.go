@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 )
 
@@ -163,8 +164,16 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	now := time.Now()
-	out := make([]WorkerInfo, 0, len(c.workers))
-	for _, ws := range c.workers {
+	// Walk worker IDs in sorted order so the listing never leaks map
+	// iteration order into the response (stepvet: determinism).
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]WorkerInfo, 0, len(ids))
+	for _, id := range ids {
+		ws := c.workers[id]
 		out = append(out, WorkerInfo{
 			ID:           ws.id,
 			Name:         ws.name,

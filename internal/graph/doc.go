@@ -19,7 +19,12 @@
 // identical Results under the sequential and the conservative-parallel
 // DES engine at any worker count (Config.SimWorkers). The experiment
 // harness and scenario sweeps rely on this to certify byte-identical
-// tables across the engine matrix.
+// tables across the engine matrix. stepvet (make lint) certifies the
+// static half: the determinism analyzer rejects order-leaking map
+// ranges and wall clocks in this package, and the equalfields analyzer
+// requires every Result field to be compared in Result.Equal or
+// excluded with a reasoned //lint:allow, so a new field cannot
+// silently widen what "equal results" means.
 //
 // # The run arena
 //

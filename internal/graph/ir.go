@@ -241,7 +241,13 @@ func irToTree(e ExprIR, budget *int) (symbolic.Tree, error) {
 		set++
 		t = symbolic.Tree{Kind: "sym", Sym: e.Sym}
 	}
-	for kind, args := range map[string][]ExprIR{"add": e.Add, "mul": e.Mul, "ceildiv": e.CeilDiv, "max": e.Max} {
+	// Fixed decode order: an invalid multi-kind expression must report
+	// the same first error every run (stepvet: determinism).
+	for _, ka := range [...]struct {
+		kind string
+		args []ExprIR
+	}{{"add", e.Add}, {"mul", e.Mul}, {"ceildiv", e.CeilDiv}, {"max", e.Max}} {
+		kind, args := ka.kind, ka.args
 		if len(args) == 0 {
 			continue
 		}

@@ -436,3 +436,30 @@ func TestProgramDotGolden(t *testing.T) {
 		t.Fatalf("DOT mismatch (run with -update after intended changes):\n%s", got)
 	}
 }
+
+// TestExprIRFirstErrorStable pins the decode order of expression kinds:
+// an invalid multi-kind expression must report the same first error on
+// every run. The add branch holds an empty (invalid) sub-expression; the
+// mul branch holds a chain deep enough to exhaust the node budget. If
+// decode order ever regressed to map iteration, the reported error would
+// flip between the two messages across iterations.
+func TestExprIRFirstErrorStable(t *testing.T) {
+	deep := graph.ExprIR{Sym: "x"}
+	for i := 0; i < 300; i++ {
+		deep = graph.ExprIR{Add: []graph.ExprIR{deep}}
+	}
+	e := &graph.ExprIR{
+		Add: []graph.ExprIR{{}}, // invalid: sets none of const/sym/...
+		Mul: []graph.ExprIR{deep},
+	}
+	const want = "ir: expr must set exactly one of const/sym/add/mul/ceildiv/max"
+	for i := 0; i < 200; i++ {
+		_, err := graph.ExprFromIR(e)
+		if err == nil {
+			t.Fatal("expected decode error")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: first error changed:\ngot  %q\nwant %q", i, err, want)
+		}
+	}
+}

@@ -10,7 +10,9 @@
 //     Suite.Workers setting and under either DES engine selected by
 //     Suite.SimWorkers. ParMap writes each point's result into its own
 //     index, so output order never depends on completion order; worker
-//     counts may change wall time only.
+//     counts may change wall time only. The simulation side of this
+//     guarantee is enforced statically by stepvet's determinism
+//     analyzer over the sim-affecting packages (make lint).
 //   - Bounded concurrency at any depth: nested sweeps share one
 //     worker-token pool (Suite.EnsurePool), so total concurrency stays
 //     capped by Workers no matter how sweeps compose — and a sweep

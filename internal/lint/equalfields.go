@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EqualFields guards the byte-identity contract: every field of
+// graph.Result must be compared in Result.Equal or excluded on purpose.
+// A field added to Result but forgotten in Equal would silently widen
+// what "equal results" means and let nondeterminism slip past the
+// determinism matrix. Exclusions are declared inside the Equal body with
+// //lint:allow equalfields <FieldName>: <reason>. Comparing the structs
+// wholesale (r == o) is also flagged — it hides exactly the exclusions
+// this analyzer exists to make visible.
+var EqualFields = &Analyzer{
+	Name:      "equalfields",
+	Doc:       "every field of graph.Result must be compared in Result.Equal or excluded with an explicit reason",
+	AppliesTo: func(path string) bool { return pathHasSuffix(path, "internal/graph") },
+	Run:       runEqualFields,
+}
+
+func runEqualFields(pass *Pass) {
+	strct, typePos := lookupResultStruct(pass)
+	if strct == nil {
+		return
+	}
+	equal := findEqualMethod(pass, "Result")
+	if equal == nil || equal.Body == nil {
+		pass.Reportf(typePos, "add an Equal method comparing every field",
+			"Result has no Equal method; byte-identity checks have nothing to call")
+		return
+	}
+	fset := pass.Fset()
+	bodyFrom := fset.Position(equal.Body.Pos()).Line
+	bodyTo := fset.Position(equal.Body.End()).Line
+	allows := pass.AllowsIn(equal.Body.Pos(), bodyFrom, bodyTo)
+
+	compared := map[string]bool{}
+	info := pass.TypesInfo()
+	ast.Inspect(equal.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isResultExpr(info, n.X) {
+				compared[n.Sel.Name] = true
+			}
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) && isResultExpr(info, n.X) && isResultExpr(info, n.Y) {
+				pass.Reportf(n.Pos(), "compare field by field so exclusions stay visible",
+					"compares Result structs wholesale; field exclusions are invisible here")
+			}
+		}
+		return true
+	})
+
+	for i := 0; i < strct.NumFields(); i++ {
+		field := strct.Field(i)
+		name := field.Name()
+		if compared[name] || allowedField(allows, name) {
+			continue
+		}
+		pass.Reportf(equal.Pos(), "compare the field in Equal, or add //lint:allow equalfields "+name+": <reason> inside the body",
+			"field %s of Result is neither compared in Equal nor explicitly excluded", name)
+	}
+}
+
+// allowedField reports whether any in-body directive names the field.
+// The reason must lead with the field name (optionally colon-separated)
+// so each exclusion is unambiguous.
+func allowedField(allows []Allow, field string) bool {
+	for _, a := range allows {
+		first, _, _ := strings.Cut(a.Reason, " ")
+		if strings.TrimSuffix(first, ":") == field {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupResultStruct finds the package-level struct type named Result.
+func lookupResultStruct(pass *Pass) (*types.Struct, token.Pos) {
+	obj := pass.TypesPkg().Scope().Lookup("Result")
+	if obj == nil {
+		return nil, token.NoPos
+	}
+	strct, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, token.NoPos
+	}
+	return strct, obj.Pos()
+}
+
+// findEqualMethod returns the AST of the Equal method declared on the
+// named receiver type (value or pointer).
+func findEqualMethod(pass *Pass, recvType string) *ast.FuncDecl {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Equal" || fn.Recv == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			t := fn.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// isResultExpr reports whether the expression has the named type Result.
+func isResultExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Result"
+}

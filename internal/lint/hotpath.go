@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces the lazy-name invariant on files that opt in with a
+// //lint:hotpath marker: per-event code must not format or concatenate
+// strings eagerly. Names are carried as func() string thunks and only
+// materialized by diagnostics; the two sanctioned exceptions — panic
+// arguments and the bodies of func() string literals — are recognized
+// and skipped.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "files marked //lint:hotpath must not build strings eagerly outside panics and func() string thunks",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		if !pass.Pkg.HotpathFile(file.Pos()) {
+			continue
+		}
+		exempt := collectHotpathExemptRanges(file, info)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+					return true
+				}
+				switch fn.Name() {
+				case "Sprintf", "Sprint", "Sprintln", "Appendf":
+					if !exempt.covers(n.Pos()) {
+						pass.Reportf(n.Pos(), "wrap the formatting in a func() string thunk so it only runs when a diagnostic needs it",
+							"eager fmt.%s on a hot path", fn.Name())
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isNonConstString(info, n) && !exempt.covers(n.Pos()) {
+					pass.Reportf(n.Pos(), "defer the concatenation into a func() string thunk",
+						"eager string concatenation on a hot path")
+					return false // one finding per concatenation chain
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) && !exempt.covers(n.Pos()) {
+					pass.Reportf(n.Pos(), "defer the concatenation into a func() string thunk",
+						"eager string concatenation on a hot path")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// posRanges is a set of [from, to] position intervals.
+type posRanges []struct{ from, to token.Pos }
+
+func (r posRanges) covers(p token.Pos) bool {
+	for _, iv := range r {
+		if p >= iv.from && p <= iv.to {
+			return true
+		}
+	}
+	return false
+}
+
+// collectHotpathExemptRanges returns the source ranges where eager
+// string building is sanctioned: panic arguments (the path is already
+// dead) and func() string literal bodies (the lazy thunks themselves).
+func collectHotpathExemptRanges(file *ast.File, info *types.Info) posRanges {
+	var out posRanges
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n.Fun, "panic") {
+				out = append(out, struct{ from, to token.Pos }{n.Pos(), n.End()})
+			}
+		case *ast.FuncLit:
+			if sig, ok := info.TypeOf(n).(*types.Signature); ok && isNameThunk(sig) {
+				out = append(out, struct{ from, to token.Pos }{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isNameThunk reports whether the signature is func() string.
+func isNameThunk(sig *types.Signature) bool {
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isNonConstString reports whether the expression has string type and is
+// not folded to a constant by the type checker (constant concatenations
+// cost nothing at run time).
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package plus the lint metadata
+// (suppression directives, hotpath markers) mined from its comments.
+type Package struct {
+	// Path is the import path the package was loaded as.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset maps positions for every file of every package loaded by the
+	// same Loader.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// hotpathFiles holds the filenames carrying a //lint:hotpath marker.
+	hotpathFiles map[string]bool
+	// allows maps filename -> parsed //lint:allow directives.
+	allows map[string][]Allow
+	// malformed collects invalid directives as findings.
+	malformed []Finding
+}
+
+// HotpathFile reports whether the file containing pos is annotated with
+// //lint:hotpath.
+func (p *Package) HotpathFile(pos token.Pos) bool {
+	return p.hotpathFiles[p.Fset.Position(pos).Filename]
+}
+
+// suppressed reports whether an //lint:allow directive for the analyzer
+// sits on the finding's line or the line immediately above it.
+func (p *Package) suppressed(analyzer string, pos token.Position) bool {
+	for _, a := range p.allows[pos.Filename] {
+		if a.Analyzer == analyzer && (a.Line == pos.Line || a.Line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowFindings reports directives naming an unknown analyzer: a typo in
+// a suppression must fail the build, not silently stop suppressing.
+func (p *Package) allowFindings(known map[string]bool) []Finding {
+	files := make([]string, 0, len(p.allows))
+	for file := range p.allows {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	var out []Finding
+	for _, file := range files {
+		for _, a := range p.allows[file] {
+			if !known[a.Analyzer] && a.Analyzer != "suppression" {
+				out = append(out, Finding{
+					Analyzer: "suppression",
+					File:     file,
+					Line:     a.Line,
+					Col:      1,
+					Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", a.Analyzer),
+					Fix:      "use an analyzer name from `stepvet -list`",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports resolve against the module
+// root, everything else falls back to the source importer (which
+// type-checks the standard library from GOROOT/src). The module must be
+// dependency-free, which this repo's go.mod guarantees.
+type Loader struct {
+	root   string // absolute module root (directory of go.mod)
+	module string // module path from go.mod
+	fset   *token.FileSet
+	pkgs   map[string]*Package
+	std    types.Importer
+}
+
+// NewLoader creates a loader for the module containing dir (found by
+// walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks dependencies from source via
+	// go/build; with cgo disabled every stdlib package (net, os/user)
+	// resolves to its pure-Go variant, so no toolchain invocation is
+	// needed.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		root:   root,
+		module: module,
+		fset:   fset,
+		pkgs:   map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module path.
+func (l *Loader) Module() string { return l.module }
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, everything else from the standard library source tree.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath loads (or returns the cached) package for a module-internal
+// import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	return l.loadDir(filepath.Join(l.root, rel), path)
+}
+
+// LoadDirAs parses and type-checks the package in dir under the given
+// import path. Tests use it to present fixture directories as the
+// repo-specific packages the analyzers apply to.
+func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDir(abs, importPath)
+}
+
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// MatchFile evaluates build constraints (GOOS suffixes,
+		// //go:build lines) so platform-gated variants don't collide.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	_ = names
+	pkg := &Package{
+		Path:         importPath,
+		Dir:          dir,
+		Fset:         l.fset,
+		Files:        files,
+		hotpathFiles: map[string]bool{},
+		allows:       map[string][]Allow{},
+	}
+	// Register before checking so import cycles fail in the type checker
+	// (with a clear error) instead of recursing forever. The Types field
+	// is filled below; a cycle would re-enter loadDir only through
+	// Import, which goes through loadPath and hits the type checker's own
+	// cycle detection because conf.Check is re-entered for the same path.
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.collectDirectives(pkg)
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// collectDirectives mines //lint: comments out of the package's files.
+func (l *Loader) collectDirectives(pkg *Package) {
+	for _, f := range pkg.Files {
+		filename := l.fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case text == "//lint:hotpath" || strings.HasPrefix(text, "//lint:hotpath "):
+					pkg.hotpathFiles[filename] = true
+				case strings.HasPrefix(text, "//lint:allow"):
+					line := l.fset.Position(c.Pos()).Line
+					rest := strings.TrimPrefix(text, "//lint:allow")
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						pkg.malformed = append(pkg.malformed, Finding{
+							Analyzer: "suppression",
+							File:     filename,
+							Line:     line,
+							Col:      l.fset.Position(c.Pos()).Column,
+							Message:  "//lint:allow requires an analyzer name and a reason",
+							Fix:      "write //lint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					pkg.allows[filename] = append(pkg.allows[filename], Allow{
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						Line:     line,
+					})
+				}
+			}
+		}
+	}
+}
+
+// Load expands the patterns ("./...", "dir/...", or plain directories,
+// resolved relative to the loader's module root) and returns the matched
+// packages in directory order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	addDir := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			addDir(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				addDir(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module root %s", dir, l.root)
+		}
+		importPath := l.module
+		if rel != "." {
+			importPath = l.module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadPath(importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

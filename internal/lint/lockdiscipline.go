@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces the thin-lock invariant on the parallel
+// engine's global state mutex: a stateMu critical section may only
+// mutate engine bookkeeping. Channel operations can block on a peer that
+// needs the same lock to make progress, and calls through function
+// values can run arbitrary user code (which may re-enter the engine), so
+// both are forbidden while stateMu is held.
+var LockDiscipline = &Analyzer{
+	Name:      "lockdiscipline",
+	Doc:       "stateMu critical sections must not perform channel ops, blocking waits, or calls through function values",
+	AppliesTo: func(path string) bool { return pathHasSuffix(path, "internal/des") },
+	Run:       runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				scanLockedStmts(pass, fn.Body.List, false)
+			}
+		}
+	}
+}
+
+// scanLockedStmts walks a statement list tracking whether stateMu is
+// held. A defer of stateMu.Unlock (directly or inside a deferred
+// closure) keeps the section open for the remainder of the list.
+func scanLockedStmts(pass *Pass, stmts []ast.Stmt, held bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch stateMuMethod(call) {
+				case "Lock":
+					held = true
+					continue
+				case "Unlock":
+					held = false
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			if stateMuMethod(s.Call) == "Unlock" {
+				continue // unlocks at return; section spans the rest of the list
+			}
+			if fl, ok := s.Call.Fun.(*ast.FuncLit); ok && containsStateMuUnlock(fl.Body) {
+				// Deferred closure that releases the lock at return:
+				// its body up to the Unlock still runs under stateMu.
+				scanLockedStmts(pass, fl.Body.List, true)
+				continue
+			}
+		}
+		if held {
+			checkLockedStmt(pass, stmt)
+		} else {
+			scanNestedStmts(pass, stmt)
+		}
+	}
+}
+
+// scanNestedStmts recurses into the statement lists nested inside stmt
+// so critical sections opened inside branches are tracked too. Function
+// literals start unlocked: they run when called, not where written.
+func scanNestedStmts(pass *Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			scanLockedStmts(pass, n.List, false)
+			return false
+		case *ast.CaseClause:
+			scanLockedStmts(pass, n.Body, false)
+			return false
+		case *ast.CommClause:
+			scanLockedStmts(pass, n.Body, false)
+			return false
+		case *ast.FuncLit:
+			scanLockedStmts(pass, n.Body.List, false)
+			return false
+		}
+		return true
+	})
+}
+
+// checkLockedStmt reports forbidden operations inside a held critical
+// section. Function literals are skipped: defining a closure under the
+// lock is fine, only running one is not.
+func checkLockedStmt(pass *Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "move the send outside the critical section",
+				"channel send while holding stateMu can deadlock against a peer waiting for the lock")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "move the receive outside the critical section",
+					"channel receive while holding stateMu can deadlock against a peer waiting for the lock")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "move the select outside the critical section",
+				"select while holding stateMu can block the whole engine")
+		case *ast.CallExpr:
+			checkLockedCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkLockedCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo()
+	if isBuiltin(info, call.Fun, "close") {
+		pass.Reportf(call.Pos(), "close the channel after releasing stateMu",
+			"channel close while holding stateMu; waiters wake into lock contention")
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+			pass.Reportf(call.Pos(), "release stateMu before sleeping",
+				"time.Sleep while holding stateMu stalls every worker")
+			return
+		}
+		if fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+			pass.Reportf(call.Pos(), "release stateMu before waiting",
+				"blocking %s.Wait while holding stateMu", fn.Type().(*types.Signature).Recv().Type())
+			return
+		}
+	}
+	// A call through a function value (variable, parameter, or field) can
+	// run arbitrary user code under the engine lock.
+	if obj := calleeVar(info, call); obj != nil {
+		pass.Reportf(call.Pos(), "run the callback after releasing stateMu, or suppress if ordering requires it",
+			"calls function value %s while holding stateMu; user code must not run under the engine lock", obj.Name())
+	}
+}
+
+// calleeVar resolves a call whose callee is a function-typed variable or
+// struct field; method and package-function calls return nil.
+func calleeVar(info *types.Info, call *ast.CallExpr) *types.Var {
+	switch callee := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[callee].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[callee]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+	}
+	return nil
+}
+
+// stateMuMethod returns "Lock"/"Unlock" when the call is
+// <something>.stateMu.Lock() / .Unlock(), else "".
+func stateMuMethod(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if ok && recv.Sel.Name == "stateMu" {
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == "stateMu" {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// containsStateMuUnlock reports whether the block calls stateMu.Unlock
+// anywhere (outside nested function literals).
+func containsStateMuUnlock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && stateMuMethod(call) == "Unlock" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RegistryComplete keeps the op decode registry honest: every exported
+// op constructor in internal/ops (first parameter *graph.Graph, second a
+// name string) must be reachable from an IR decoder registered via
+// RegisterIROp, or carry an explicit suppression explaining why it has
+// no IR spelling (composite convenience constructors). Without this, a
+// new op works through the Go API but silently cannot round-trip through
+// the IR, and nothing fails until a user's program does.
+var RegistryComplete = &Analyzer{
+	Name:      "registrycomplete",
+	Doc:       "every exported op constructor must be called from a registered IR decoder",
+	AppliesTo: func(path string) bool { return pathHasSuffix(path, "internal/ops") },
+	Run:       runRegistryComplete,
+}
+
+func runRegistryComplete(pass *Pass) {
+	covered := map[string]bool{}
+	for _, file := range pass.Files() {
+		collectRegisteredConstructors(pass, file, covered)
+	}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !fn.Name.IsExported() {
+				continue
+			}
+			obj, ok := pass.TypesInfo().Defs[fn.Name].(*types.Func)
+			if !ok || !isOpConstructor(obj) {
+				continue
+			}
+			if !covered[fn.Name.Name] {
+				pass.Reportf(fn.Pos(), "register a decoder in ir.go calling "+fn.Name.Name+", or suppress with the reason it has no IR spelling",
+					"exported op constructor %s has no decode-registry entry", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// isOpConstructor reports whether the function takes (*<...>.Graph,
+// string, ...) — the shape every op constructor in internal/ops shares.
+func isOpConstructor(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() < 2 {
+		return false
+	}
+	ptr, ok := params.At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Graph" {
+		return false
+	}
+	b, ok := params.At(1).Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// collectRegisteredConstructors finds every RegisterIROp call (direct,
+// through a selector, or through a local alias like
+// `reg := graph.RegisterIROp`) and marks the package-level functions
+// called inside the registered decoder as covered.
+func collectRegisteredConstructors(pass *Pass, file *ast.File, covered map[string]bool) {
+	info := pass.TypesInfo()
+	// First pass: objects aliasing RegisterIROp.
+	aliases := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if !namesRegisterIROp(rhs) {
+				continue
+			}
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					aliases[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Second pass: registration calls; mark constructors called in the
+	// decoder argument.
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		isReg := namesRegisterIROp(call.Fun)
+		if !isReg {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				isReg = aliases[info.ObjectOf(id)]
+			}
+		}
+		if !isReg {
+			return true
+		}
+		ast.Inspect(call.Args[1], func(m ast.Node) bool {
+			inner, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(inner.Fun).(*ast.Ident); ok {
+				if fn, ok := info.Uses[id].(*types.Func); ok && fn.Pkg() == pass.TypesPkg() {
+					covered[fn.Name()] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// namesRegisterIROp reports whether the expression is an identifier or
+// selector literally named RegisterIROp.
+func namesRegisterIROp(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "RegisterIROp"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "RegisterIROp"
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Fixture: every way the determinism analyzer fires.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from the process-global rand source.
+func Jitter() int { return rand.Intn(4) }
+
+// FirstError returns from inside a map range: which error wins depends
+// on iteration order.
+func FirstError(m map[string]error) error {
+	for _, err := range m {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows appends rendered rows in map order.
+func Rows(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+// Render builds a string in map order.
+func Render(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Literal ranges over a map literal.
+func Literal() int {
+	n := 0
+	for _, v := range map[string]int{"a": 1, "b": 2} {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,37 @@
+// Fixture: deterministic idioms the analyzer must not flag.
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Draw uses an explicitly seeded generator.
+func Draw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+// SortedRows collects only the keys, sorts them, then walks the map in
+// key order — the canonical deterministic shape.
+func SortedRows(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, k)
+	}
+	return rows
+}
+
+// Sum folds a map commutatively; no order leaks.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

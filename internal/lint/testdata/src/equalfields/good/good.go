@@ -1,0 +1,13 @@
+// Fixture: explicit per-field equality with a declared exclusion.
+package graph
+
+type Result struct {
+	Cycles  int64
+	Traffic int64
+	Debug   string
+}
+
+func (r Result) Equal(o Result) bool {
+	//lint:allow equalfields Debug: diagnostic text, not simulation output
+	return r.Cycles == o.Cycles && r.Traffic == o.Traffic
+}

@@ -1,0 +1,25 @@
+//lint:hotpath fixture: this file opts into the lazy-name invariant
+
+// Fixture: every way the hotpath analyzer fires.
+package hot
+
+import "fmt"
+
+// Name formats eagerly on every call.
+func Name(i int) string {
+	return fmt.Sprintf("proc-%d", i)
+}
+
+// Join concatenates non-constant strings eagerly.
+func Join(a, b string) string {
+	return a + "-" + b
+}
+
+// Grow builds a string with +=.
+func Grow(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,23 @@
+//lint:hotpath fixture: this file opts into the lazy-name invariant
+
+// Fixture: the sanctioned shapes the analyzer must not flag.
+package hot
+
+import "fmt"
+
+// Constant concatenation is folded at compile time.
+const prefix = "proc" + "-"
+
+// LazyName defers the formatting into a func() string thunk.
+func LazyName(i int) func() string {
+	return func() string {
+		return fmt.Sprintf("proc-%d", i)
+	}
+}
+
+// Guard formats only inside panic arguments — the path is already dead.
+func Guard(ok bool) {
+	if !ok {
+		panic("hot: " + fmt.Sprintf("bad state %v", ok))
+	}
+}

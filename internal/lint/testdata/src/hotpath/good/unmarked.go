@@ -1,0 +1,10 @@
+// Fixture: a file without the //lint:hotpath marker; eager formatting
+// here is out of the analyzer's scope.
+package hot
+
+import "fmt"
+
+// ColdName formats eagerly, legitimately: this file is not a hot path.
+func ColdName(i int) string {
+	return fmt.Sprintf("cold-%d", i)
+}

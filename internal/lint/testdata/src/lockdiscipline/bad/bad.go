@@ -1,0 +1,36 @@
+// Fixture: every way the lockdiscipline analyzer fires.
+package des
+
+import (
+	"sync"
+	"time"
+)
+
+type engine struct {
+	stateMu sync.Mutex
+	ch      chan int
+	cb      func()
+	count   int
+}
+
+func (e *engine) channelOpsUnderLock() {
+	e.stateMu.Lock()
+	e.ch <- 1
+	<-e.ch
+	close(e.ch)
+	e.cb()
+	e.stateMu.Unlock()
+}
+
+func (e *engine) selectUnderDeferredUnlock() {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	select {}
+}
+
+func (e *engine) blockingUnderLock(wg *sync.WaitGroup) {
+	e.stateMu.Lock()
+	wg.Wait()
+	time.Sleep(time.Millisecond)
+	e.stateMu.Unlock()
+}

@@ -1,0 +1,41 @@
+// Fixture: lock usage the analyzer must not flag.
+package des
+
+import "sync"
+
+type engine struct {
+	stateMu sync.Mutex
+	ch      chan int
+	cb      func()
+	count   int
+}
+
+// Bookkeeping under the lock, channel ops and callbacks outside.
+func (e *engine) good() {
+	e.stateMu.Lock()
+	n := e.count
+	e.stateMu.Unlock()
+	if n == 0 {
+		e.ch <- 1
+	}
+	e.cb()
+}
+
+// A deferred closure that releases the lock keeps the section open; the
+// bookkeeping inside it is fine.
+func (e *engine) goodDeferClosure() {
+	e.stateMu.Lock()
+	defer func() {
+		e.count++
+		e.stateMu.Unlock()
+	}()
+	e.count++
+}
+
+// Defining a closure under the lock is fine — only running one is not.
+func (e *engine) goodClosureDefinition() func() {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	fn := func() { e.cb() }
+	return fn
+}

@@ -1,0 +1,27 @@
+// Fixture: an op constructor the decode registry misses.
+package ops
+
+type Graph struct{}
+
+type Stream struct{}
+
+type DecodeCtx struct {
+	G    *Graph
+	Name string
+}
+
+func RegisterIROp(kind string, decode func(*DecodeCtx) error) {}
+
+// Source is registered (through the alias) below.
+func Source(g *Graph, name string) *Stream { return nil }
+
+// Orphan has no decode-registry entry and no suppression.
+func Orphan(g *Graph, name string) *Stream { return nil }
+
+func init() {
+	reg := RegisterIROp
+	reg("source", func(dc *DecodeCtx) error {
+		Source(dc.G, dc.Name)
+		return nil
+	})
+}

@@ -1,0 +1,28 @@
+// Fixture: full registry coverage plus a suppressed composite.
+package ops
+
+type Graph struct{}
+
+type Stream struct{}
+
+type DecodeCtx struct {
+	G    *Graph
+	Name string
+}
+
+func RegisterIROp(kind string, decode func(*DecodeCtx) error) {}
+
+// Source is registered directly below.
+func Source(g *Graph, name string) *Stream { return nil }
+
+// Combo is a composite convenience constructor.
+//
+//lint:allow registrycomplete composite convenience; its IR spelling is the source node it expands to
+func Combo(g *Graph, name string) *Stream { return Source(g, name) }
+
+func init() {
+	RegisterIROp("source", func(dc *DecodeCtx) error {
+		Source(dc.G, dc.Name)
+		return nil
+	})
+}

@@ -1,0 +1,10 @@
+// Fixture: a valid suppression silences the finding on the next line.
+package workloads
+
+import "time"
+
+// Stamp reads the wall clock for reporting metadata only.
+func Stamp() int64 {
+	//lint:allow determinism wall-clock metadata for reports; never reaches sim state
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,11 @@
+// Fixture: broken suppressions are themselves findings, and a directive
+// without a reason suppresses nothing.
+package workloads
+
+import "time"
+
+//lint:allow determinism
+func MissingReason() int64 { return time.Now().UnixNano() }
+
+//lint:allow nosuchanalyzer because reasons
+func UnknownAnalyzer() {}

@@ -130,6 +130,8 @@ func Map(g *graph.Graph, name string, in *graph.Stream, fn MapFn, opts ComputeOp
 
 // Map2 zips two streams and applies a binary function — the common
 // Map((a, b), fn) pattern of Listing 1.
+//
+//lint:allow registrycomplete composite convenience over Zip+Map; its IR spelling is the zip and map nodes it expands to
 func Map2(g *graph.Graph, name string, a, b *graph.Stream, fn MapFn, opts ComputeOpts) *graph.Stream {
 	z := Zip(g, name+".zip", a, b)
 	return Map(g, name, z, fn, opts)

@@ -92,6 +92,8 @@ func LinearOffChipLoad(g *graph.Graph, name string, ref *graph.Stream, tensor Of
 
 // LinearOffChipLoadStatic is the static-reference variant: the affine read
 // repeats a compile-time-constant number of times.
+//
+//lint:allow registrycomplete composite convenience over CountSource+LinearOffChipLoad; its IR spelling is the count-source and linear-offchip-load nodes it expands to
 func LinearOffChipLoadStatic(g *graph.Graph, name string, repeats int, tensor OffChipTensor, stride, outShape [2]int) *graph.Stream {
 	ref := CountSource(g, name+".ref", repeats)
 	return LinearOffChipLoad(g, name, ref, tensor, stride, outShape)

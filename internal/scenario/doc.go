@@ -18,7 +18,11 @@
 //     harness worker count and under either DES engine. Specs may
 //     declare a WorkersAxis x SimWorkersAxis matrix; Run then executes
 //     the sweep once per setting and fails unless all renderings match,
-//     turning the guarantee into a declarative check.
+//     turning the guarantee into a declarative check. Statically,
+//     stepvet's determinism analyzer covers this package too; the only
+//     wall-clock reads are the per-point durations reported through
+//     OnPoint, suppressed with reasons because they never reach sim
+//     state.
 //   - Canonical identity: Canonicalize and CanonicalJSON produce a
 //     normalized, stable serialization of a spec — defaults filled,
 //     fields ordered deterministically — and those bytes are the only

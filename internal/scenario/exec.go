@@ -65,6 +65,7 @@ func mapPoints[T any](s harness.Suite, ex exec, n int, fn func(int) (T, error)) 
 			return nil, fmt.Errorf("scenario: point %d outside sweep of %d points", ex.only, n)
 		}
 		out := make([]T, n)
+		//lint:allow determinism wall-clock point duration is reporting metadata; it never reaches simulated state
 		start := time.Now()
 		v, err := fn(ex.only)
 		if err != nil {
@@ -79,6 +80,7 @@ func mapPoints[T any](s harness.Suite, ex exec, n int, fn func(int) (T, error)) 
 		}
 		out[ex.only] = v
 		if s.OnPoint != nil {
+			//lint:allow determinism wall-clock point duration is reporting metadata; it never reaches simulated state
 			s.OnPoint(harness.PointEvent{Index: ex.only, Row: v, Duration: time.Since(start)})
 		}
 		return out, nil

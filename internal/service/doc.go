@@ -10,7 +10,10 @@
 // queued -> cached when the store (or a concurrent job computing the
 // same key) already holds the result. Submissions of a key that is
 // already in flight do not re-simulate: they wait for the running job
-// and read its stored result (single-flight).
+// and read its stored result (single-flight). Job listings and
+// shutdown iterate IDs in sorted order, never map order — the same
+// determinism discipline stepvet enforces statically inside the sim
+// packages (make lint).
 //
 // # Streaming
 //

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -212,9 +213,16 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	// Cancel in sorted-ID order so shutdown behavior never depends on map
+	// iteration order (stepvet: determinism).
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
 	}
 	close(s.queue)
 	s.mu.Unlock()

@@ -3,7 +3,9 @@
 // serialization combined with the execution parameters that change
 // rendered bytes (seed and quick mode — worker counts are excluded
 // because tables are byte-identical at any worker count, which is what
-// makes caching sound at all).
+// makes caching sound at all; stepvet's determinism and equalfields
+// analyzers are the static guards on that byte-identity contract, see
+// make lint).
 //
 // Layout on disk, under the store directory (default .step-cache):
 //
